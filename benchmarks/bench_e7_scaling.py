@@ -1,0 +1,110 @@
+"""E7 — Latency/throughput scaling on the accelerator.
+
+Paper context: "a hardware acceleration circuit to support real-time
+processing, essential for edge devices that require low latency".
+
+Three sweeps characterize the design space:
+
+* batch size — throughput amortization of fill/drain and vector overheads;
+* systolic array size — the area/latency trade-off (small / default /
+  large configurations);
+* scene size — end-to-end frame latency as the window grid grows
+  (1 window per grid cell, batch-processed), against real-time budgets.
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+from benchmarks.common import print_table, quantized_configuration
+from repro.hw import AcceleratorConfig, Compiler, Simulator, estimate_area
+
+REALTIME_BUDGET_MS = 1000.0 / 30.0  # one 30 fps frame
+
+
+def run_batch_sweep(batches=(1, 2, 4, 8, 16)):
+    config = AcceleratorConfig.edge_default()
+    model = quantized_configuration().model
+    rows = []
+    for batch in batches:
+        report = Simulator(config).simulate(
+            Compiler(config).compile(model, batch=batch))
+        rows.append({
+            "batch": batch,
+            "latency_ms": report.latency_ms,
+            "throughput_inf_s": report.throughput_inferences_per_s,
+            "array_util_pct": report.array_utilization * 100.0,
+            "energy_uj_per_inf": report.energy_per_inference_j * 1e6,
+        })
+    return rows
+
+
+def run_array_sweep():
+    model = quantized_configuration().model
+    rows = []
+    for config in (AcceleratorConfig.small(), AcceleratorConfig.edge_default(),
+                   AcceleratorConfig.large()):
+        report = Simulator(config).simulate(Compiler(config).compile(model))
+        rows.append({
+            "array": f"{config.array_rows}x{config.array_cols}",
+            "peak_tops": config.peak_int8_tops,
+            "latency_ms": report.latency_ms,
+            "array_util_pct": report.array_utilization * 100.0,
+            "energy_uj_per_inf": report.energy_per_inference_j * 1e6,
+            "area_mm2_28nm": estimate_area(config).total_mm2,
+        })
+    return rows
+
+
+def run_scene_sweep(grids=(2, 3, 4, 6, 8)):
+    """Frame latency for a whole scene: grid² windows per frame."""
+    config = AcceleratorConfig.edge_default()
+    model = quantized_configuration().model
+    rows = []
+    for grid in grids:
+        windows = grid * grid
+        report = Simulator(config).simulate(
+            Compiler(config).compile(model, batch=windows))
+        rows.append({
+            "scene": f"{grid * 32}x{grid * 32}",
+            "windows": windows,
+            "frame_latency_ms": report.latency_ms,
+            "realtime_30fps": "yes" if report.latency_ms < REALTIME_BUDGET_MS
+            else "NO",
+        })
+    return rows
+
+
+def test_e7_batch_scaling(benchmark):
+    rows = benchmark.pedantic(run_batch_sweep, rounds=1, iterations=1)
+    print_table("E7a: batch scaling", rows)
+    # throughput and utilization must improve with batch
+    assert rows[-1]["throughput_inf_s"] > rows[0]["throughput_inf_s"]
+    assert rows[-1]["array_util_pct"] > rows[0]["array_util_pct"]
+
+
+def test_e7_array_sweep(benchmark):
+    rows = benchmark.pedantic(run_array_sweep, rounds=1, iterations=1)
+    print_table("E7b: array-size sweep", rows)
+    assert rows[0]["latency_ms"] > rows[-1]["latency_ms"]
+    # small arrays utilize better on tiny GEMMs
+    assert rows[0]["array_util_pct"] > rows[-1]["array_util_pct"]
+
+
+def test_e7_scene_scaling(benchmark):
+    rows = benchmark.pedantic(run_scene_sweep, rounds=1, iterations=1)
+    print_table("E7c: scene-size scaling (frame latency)", rows)
+    # the paper's deployment scene (96x96, 9 windows) is comfortably real-time
+    deployed = next(r for r in rows if r["windows"] == 9)
+    assert deployed["frame_latency_ms"] < REALTIME_BUDGET_MS
+
+
+def main():
+    print_table("E7a: batch scaling", run_batch_sweep())
+    print_table("E7b: array-size sweep", run_array_sweep())
+    print_table("E7c: scene-size scaling", run_scene_sweep())
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,185 @@
+"""E8 — Component ablations.
+
+The abstract attributes iTask's behaviour to three mechanisms: the
+LLM-generated knowledge graph, teacher→student distillation, and the
+dual-configuration adaptivity.  This bench isolates each:
+
+* **A: KG guidance on/off** — detection accuracy with graph matching vs
+  objectness-only, per task;
+* **B: LLM extraction-noise sweep** — task accuracy as the simulated
+  LLM's omission/hallucination rates grow, with and without few-shot
+  refinement (robustness of the graph channel);
+* **C: distillation recipe** — student accuracy with soft targets only,
+  + feature hints, + attribute distillation, vs training from scratch
+  (equal epoch budget).
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+import numpy as np
+
+from benchmarks.common import (
+    DECISION_THRESHOLD,
+    eval_windows,
+    print_table,
+    quantized_configuration,
+    task_matcher,
+    teacher,
+)
+from repro.data import (
+    attribute_head_spec,
+    build_window_dataset,
+    few_shot_split,
+    get_task,
+    task_names,
+)
+from repro.data.datasets import num_classes
+from repro.distill import (
+    DistillationConfig,
+    Distiller,
+    ModelTrainer,
+    TrainingConfig,
+    evaluate_model,
+)
+from repro.detect import window_task_accuracy
+from repro.kg import GraphMatcher, LLMNoiseConfig, SimulatedLLM, refine_with_examples
+from repro.nn import VisionTransformer, ViTConfig
+
+
+def run_kg_ablation():
+    quantized = quantized_configuration().model
+    rows = []
+    for name in task_names():
+        windows = eval_windows(name)
+        with_kg = window_task_accuracy(quantized, windows, task_matcher(name),
+                                       threshold=DECISION_THRESHOLD)
+        without_kg = window_task_accuracy(quantized, windows, None,
+                                          threshold=DECISION_THRESHOLD)
+        rows.append({"task": name, "with_kg": with_kg,
+                     "without_kg": without_kg,
+                     "gain_pct": 100.0 * (with_kg - without_kg)})
+    rows.append({
+        "task": "MEAN",
+        "with_kg": float(np.mean([r["with_kg"] for r in rows])),
+        "without_kg": float(np.mean([r["without_kg"] for r in rows])),
+        "gain_pct": float(np.mean([r["gain_pct"] for r in rows])),
+    })
+    return rows
+
+
+def run_noise_sweep(levels=(0.0, 0.2, 0.4, 0.6, 0.8), shots: int = 8,
+                    num_seeds: int = 3):
+    quantized = quantized_configuration().model
+    rows = []
+    for level in levels:
+        raw_scores, refined_scores = [], []
+        for name in task_names():
+            task = get_task(name)
+            dataset = eval_windows(name)
+            for seed in range(num_seeds):
+                llm = SimulatedLLM(LLMNoiseConfig(
+                    omission_rate=level, hallucination_rate=level / 2,
+                    seed=100 + seed))
+                kg = llm.generate_for_task(task)
+                support, query = few_shot_split(dataset, shots=shots, seed=seed)
+                positives = [p for p, lbl in zip(support.profiles,
+                                                 support.task_labels)
+                             if lbl > 0.5 and p is not None]
+                negatives = [p for p, lbl in zip(support.profiles,
+                                                 support.task_labels)
+                             if lbl <= 0.5]
+                refined = refine_with_examples(kg, positives, negatives)
+                raw_scores.append(window_task_accuracy(
+                    quantized, query, GraphMatcher(kg),
+                    threshold=DECISION_THRESHOLD))
+                refined_scores.append(window_task_accuracy(
+                    quantized, query, GraphMatcher(refined),
+                    threshold=DECISION_THRESHOLD))
+        rows.append({
+            "llm_noise": level,
+            "kg_raw": float(np.mean(raw_scores)),
+            "kg_refined_8shot": float(np.mean(refined_scores)),
+        })
+    return rows
+
+
+def run_distillation_recipe(epochs: int = 10):
+    train = build_window_dataset(seed=301, num_category_objects=320,
+                                 num_distractors=80, num_background=80)
+    val = build_window_dataset(seed=302, num_category_objects=160,
+                               num_distractors=40, num_background=40)
+    big_teacher = teacher()
+
+    recipes = [
+        ("scratch (no distillation)", None),
+        ("soft targets only",
+         DistillationConfig(epochs=epochs, alpha=0.7, feature_weight=0.0,
+                            attribute_weight=0.0, seed=1)),
+        ("+ feature hints",
+         DistillationConfig(epochs=epochs, alpha=0.7, feature_weight=0.5,
+                            attribute_weight=0.0, seed=1)),
+        ("+ attribute distillation (full)",
+         DistillationConfig(epochs=epochs, alpha=0.7, feature_weight=0.5,
+                            attribute_weight=0.5, seed=1)),
+    ]
+    rows = []
+    for label, config in recipes:
+        student = VisionTransformer(
+            ViTConfig.student(num_classes(), attribute_head_spec()),
+            rng=np.random.default_rng(17))
+        if config is None:
+            ModelTrainer(student, TrainingConfig(
+                epochs=epochs, batch_size=48, learning_rate=2e-3, seed=1,
+            )).fit(train)
+        else:
+            Distiller(big_teacher, student, config,
+                      rng=np.random.default_rng(17)).distill(train)
+        metrics = evaluate_model(student, val)
+        rows.append({
+            "recipe": label,
+            "class_accuracy": metrics["val_accuracy"],
+            "attribute_accuracy": metrics.get("val_attribute_accuracy"),
+        })
+    return rows
+
+
+def test_e8_kg_ablation(benchmark):
+    rows = benchmark.pedantic(run_kg_ablation, rounds=1, iterations=1)
+    print_table("E8a: knowledge-graph guidance ablation", rows)
+    mean = rows[-1]
+    assert mean["with_kg"] > mean["without_kg"] + 0.05
+
+
+def test_e8_noise_sweep(benchmark):
+    rows = benchmark.pedantic(run_noise_sweep, rounds=1, iterations=1)
+    print_table("E8b: LLM extraction-noise robustness", rows)
+    clean = rows[0]
+    worst = rows[-1]
+    # accuracy degrades with noise, refinement recovers a chunk of it
+    assert clean["kg_raw"] > worst["kg_raw"]
+    assert worst["kg_refined_8shot"] > worst["kg_raw"]
+
+
+def test_e8_distillation_recipe(benchmark):
+    rows = benchmark.pedantic(run_distillation_recipe, rounds=1, iterations=1)
+    print_table("E8c: distillation recipe ablation", rows)
+    by_recipe = {r["recipe"]: r for r in rows}
+    full = by_recipe["+ attribute distillation (full)"]
+    scratch = by_recipe["scratch (no distillation)"]
+    assert full["class_accuracy"] >= scratch["class_accuracy"] - 0.03
+    # attribute distillation must help the attribute heads
+    soft_only = by_recipe["soft targets only"]
+    assert full["attribute_accuracy"] >= soft_only["attribute_accuracy"] - 0.02
+
+
+def main():
+    print_table("E8a: knowledge-graph guidance ablation", run_kg_ablation())
+    print_table("E8b: LLM extraction-noise robustness", run_noise_sweep())
+    print_table("E8c: distillation recipe ablation", run_distillation_recipe())
+
+
+if __name__ == "__main__":
+    sys.exit(main())

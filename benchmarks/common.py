@@ -1,0 +1,117 @@
+"""Shared infrastructure for the experiment benchmarks.
+
+Every ``bench_eN_*.py`` regenerates one of the paper's tables/figures.
+Heavy model training is delegated to the session-wide artifact cache
+(:class:`repro.core.ArtifactBuilder`), so the first benchmark run pays the
+training cost once and subsequent runs load checkpoints.
+
+Each benchmark module exposes
+
+* ``run_experiment(...) -> rows`` — pure experiment logic returning a list
+  of row dicts (what EXPERIMENTS.md records);
+* ``test_*`` functions using the pytest-benchmark fixture, so
+  ``pytest benchmarks/ --benchmark-only`` both regenerates the tables
+  (printed to stdout) and times the hot paths;
+* a ``main()`` so ``python benchmarks/bench_eN_*.py`` works standalone.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core import ArtifactBuilder
+from repro.data import SceneConfig, SceneGenerator, build_task_windows, get_task
+from repro.kg import GraphMatcher, SimulatedLLM
+
+EVAL_SEED = 10_000
+DECISION_THRESHOLD = 0.35
+
+
+@functools.lru_cache(maxsize=1)
+def builder() -> ArtifactBuilder:
+    return ArtifactBuilder(seed=0)
+
+
+@functools.lru_cache(maxsize=1)
+def teacher():
+    return builder().teacher()
+
+
+@functools.lru_cache(maxsize=1)
+def multitask_student():
+    return builder().multitask_student()
+
+
+@functools.lru_cache(maxsize=None)
+def specialist(task_name: str):
+    return builder().task_student_by_name(task_name)
+
+
+@functools.lru_cache(maxsize=None)
+def quantized_configuration(weight_bits: int = 8, act_bits: int = 8):
+    return builder().quantized(weight_bits=weight_bits, act_bits=act_bits)
+
+
+@functools.lru_cache(maxsize=None)
+def task_kg(task_name: str):
+    return SimulatedLLM().generate_for_task(get_task(task_name))
+
+
+@functools.lru_cache(maxsize=None)
+def task_matcher(task_name: str) -> GraphMatcher:
+    return GraphMatcher(task_kg(task_name))
+
+
+@functools.lru_cache(maxsize=None)
+def eval_windows(task_name: str, seed_offset: int = 0):
+    """Held-out "specific scenario" window set (disjoint seed from training).
+
+    Heavy on near-miss negatives: the evaluation regime where the
+    configurations genuinely differ (E1's "specific scenarios").
+    """
+    return build_task_windows(
+        get_task(task_name), seed=EVAL_SEED + seed_offset,
+        num_positive=120, num_negative=180,
+        hard_negative_fraction=0.7, near_miss_fraction=0.7,
+    )
+
+
+@functools.lru_cache(maxsize=None)
+def eval_scenes(count: int = 24, seed: int = EVAL_SEED):
+    return tuple(SceneGenerator(SceneConfig(), seed=seed).generate_batch(count))
+
+
+# ----------------------------------------------------------------------
+# table printing
+# ----------------------------------------------------------------------
+def print_table(title: str, rows: Sequence[Dict], columns: Optional[List[str]] = None) -> None:
+    if not rows:
+        print(f"\n== {title} == (no rows)")
+        return
+    columns = columns or list(rows[0].keys())
+    widths = {
+        col: max(len(col), *(len(_fmt(row.get(col))) for row in rows))
+        for col in columns
+    }
+    print(f"\n== {title} ==")
+    header = " | ".join(col.ljust(widths[col]) for col in columns)
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        print(" | ".join(_fmt(row.get(col)).ljust(widths[col]) for col in columns))
+
+
+def _fmt(value) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    arr = np.asarray(list(values), dtype=np.float64)
+    return float(np.exp(np.log(np.clip(arr, 1e-12, None)).mean()))

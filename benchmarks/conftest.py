@@ -1,0 +1,9 @@
+"""Make the ``benchmarks`` package importable when pytest collects from
+the repository root or from inside the directory."""
+
+import os
+import sys
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+if _REPO_ROOT not in sys.path:
+    sys.path.insert(0, _REPO_ROOT)

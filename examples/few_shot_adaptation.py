@@ -1,0 +1,69 @@
+"""Few-shot adaptation: repairing a noisy knowledge graph with examples.
+
+The paper's core usability claim: iTask adapts to a new mission from
+*limited samples* because the knowledge graph reasons over abstract
+attributes.  Here the mission text goes through a deliberately unreliable
+LLM (50% constraint omission, 25% hallucination); we then hand the system
+a handful of annotated example objects and watch graph refinement recover
+the mission.
+
+Run:  python examples/few_shot_adaptation.py
+"""
+
+import numpy as np
+
+from repro.core import ArtifactBuilder
+from repro.data import build_task_windows, few_shot_split, get_task
+from repro.detect import window_task_accuracy
+from repro.kg import GraphMatcher, LLMNoiseConfig, SimulatedLLM, refine_with_examples
+
+
+def main() -> None:
+    print("=== iTask few-shot adaptation ===")
+    builder = ArtifactBuilder(seed=0)
+    quantized = builder.quantized().model
+
+    task = get_task("valve_inspection")
+    print(f"\nmission: {task.mission_text!r}")
+
+    clean_kg = SimulatedLLM().generate_for_task(task)
+    noisy_llm = SimulatedLLM(LLMNoiseConfig(
+        omission_rate=0.5, hallucination_rate=0.25, seed=3))
+    noisy_kg = noisy_llm.generate_for_task(task)
+    print(f"\nclean graph : {clean_kg}")
+    print(f"noisy graph : {noisy_kg}")
+
+    windows = build_task_windows(task, seed=500, num_positive=120,
+                                 num_negative=180,
+                                 hard_negative_fraction=0.7,
+                                 near_miss_fraction=0.7)
+
+    print(f"\n{'shots':>5} | {'noisy graph':>11} | {'refined':>8} | {'clean':>6}")
+    print("-" * 42)
+    for shots in (0, 1, 2, 4, 8, 16):
+        if shots == 0:
+            query, refined_kg = windows, noisy_kg
+        else:
+            support, query = few_shot_split(windows, shots=shots, seed=1)
+            positives = [p for p, lbl in zip(support.profiles,
+                                             support.task_labels)
+                         if lbl > 0.5 and p is not None]
+            negatives = [p for p, lbl in zip(support.profiles,
+                                             support.task_labels)
+                         if lbl <= 0.5]
+            refined_kg = refine_with_examples(noisy_kg, positives, negatives)
+        noisy_acc = window_task_accuracy(quantized, query,
+                                         GraphMatcher(noisy_kg))
+        refined_acc = window_task_accuracy(quantized, query,
+                                           GraphMatcher(refined_kg))
+        clean_acc = window_task_accuracy(quantized, query,
+                                         GraphMatcher(clean_kg))
+        print(f"{shots:>5} | {noisy_acc:>11.3f} | {refined_acc:>8.3f} "
+              f"| {clean_acc:>6.3f}")
+
+    print("\nAfter ~8 example objects the refined graph matches the clean-"
+          "text graph —\nno retraining, no gradient steps, just graph surgery.")
+
+
+if __name__ == "__main__":
+    main()

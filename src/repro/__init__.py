@@ -1,0 +1,48 @@
+"""repro — reproduction of *iTask: Task-Oriented Object Detection in
+Resource-Constrained Environments* (Jeong et al., DAC 2025).
+
+Subpackages
+-----------
+``repro.tensor``
+    numpy-backed reverse-mode autograd engine.
+``repro.nn``
+    neural-network modules, including the Vision Transformer.
+``repro.optim``
+    optimizers and learning-rate schedules.
+``repro.data``
+    synthetic attribute-compositional scene generator and task datasets.
+``repro.kg``
+    knowledge-graph schema, simulated-LLM graph generation, graph matching.
+``repro.distill``
+    teacher-student knowledge distillation.
+``repro.quant``
+    post-training quantization, QAT, integer inference kernels.
+``repro.hw``
+    cycle-level accelerator simulator, compiler, energy model, GPU baseline.
+``repro.detect``
+    detection pipeline: proposals, NMS, metrics.
+``repro.core``
+    the iTask framework: task specs, dual configurations, deployment.
+"""
+
+__version__ = "1.0.0"
+
+from repro import (
+    tensor, nn, optim, data, kg, distill, quant, hw, detect, core, vlm, stream,
+)
+
+__all__ = [
+    "tensor",
+    "nn",
+    "optim",
+    "data",
+    "kg",
+    "distill",
+    "quant",
+    "hw",
+    "detect",
+    "core",
+    "vlm",
+    "stream",
+    "__version__",
+]

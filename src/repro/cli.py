@@ -1,0 +1,158 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``tasks``
+    list the mission library (name, domain, predicate summary).
+``graph --task NAME``
+    show the knowledge graph the simulated LLM extracts for a mission
+    (ASCII tree; ``--dot`` for Graphviz source).
+``detect --task NAME``
+    run task-oriented detection on a generated scene with the cached
+    quantized configuration; optionally export an annotated PPM.
+``simulate``
+    compile the quantized model to the accelerator and print the
+    performance/energy report plus the GPU-baseline comparison.
+``models``
+    list the trained models in the artifact cache.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def _cmd_tasks(args: argparse.Namespace) -> int:
+    from repro.data import TASK_LIBRARY
+
+    for name, task in TASK_LIBRARY.items():
+        families = ", ".join(task.predicate.constrained_families)
+        print(f"{name:<22} [{task.domain:<10}] constrains: {families}")
+    return 0
+
+
+def _cmd_graph(args: argparse.Namespace) -> int:
+    from repro.data import get_task
+    from repro.kg import SimulatedLLM
+    from repro.kg.visualize import render_ascii, render_dot
+
+    task = get_task(args.task)
+    kg = SimulatedLLM().generate_for_task(task)
+    print(render_dot(kg) if args.dot else render_ascii(kg))
+    return 0
+
+
+def _cmd_detect(args: argparse.Namespace) -> int:
+    from repro.core import ArtifactBuilder, ITaskPipeline, TaskSpec
+    from repro.data import SceneConfig, SceneGenerator, get_task
+
+    task = get_task(args.task)
+    builder = ArtifactBuilder(seed=args.seed)
+    pipeline = ITaskPipeline(builder.quantized())
+    spec = TaskSpec.from_definition(task)
+    scene = SceneGenerator(SceneConfig(), seed=args.scene_seed).generate()
+    detections = pipeline.detect(spec, scene)
+
+    relevant = sum(task.matches(obj.profile) for obj in scene.objects)
+    print(f"scene: {len(scene.objects)} objects, {relevant} task-relevant")
+    print(f"detections ({len(detections)}):")
+    for det in detections:
+        print(f"  bbox={det.bbox} score={det.score:.3f} "
+              f"objectness={det.objectness:.3f} task={det.task_score:.3f}")
+    if args.out:
+        from repro.data.io import export_scene
+
+        export_scene(scene, args.out, detections)
+        print(f"annotated scene written to {args.out}")
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.core import ArtifactBuilder
+    from repro.hw import (
+        AcceleratorConfig,
+        Compiler,
+        GPUConfig,
+        GPUModel,
+        Simulator,
+        estimate_area,
+        streaming_comparison,
+    )
+
+    builder = ArtifactBuilder(seed=args.seed)
+    quantized = builder.quantized().model
+    config = AcceleratorConfig.edge_default()
+    program = Compiler(config).compile(quantized, batch=args.batch)
+    print(program.summary())
+    report = Simulator(config).simulate(program)
+    print(report.summary())
+    print(estimate_area(config).summary())
+    gpu = GPUModel(GPUConfig.jetson_class()).simulate(program)
+    print(gpu.summary())
+    comparison = streaming_comparison(report.latency_s, gpu.latency_s)
+    print(f"speedup {comparison['speedup']:.2f}x, streaming energy "
+          f"reduction {comparison['energy_reduction_pct']:.1f} %")
+    return 0
+
+
+def _cmd_models(args: argparse.Namespace) -> int:
+    from repro.core import ModelRegistry, default_artifact_dir
+
+    registry = ModelRegistry(default_artifact_dir())
+    names = registry.names()
+    if not names:
+        print("artifact cache is empty (models train on first use)")
+        return 0
+    for name in names:
+        meta = registry.metadata(name)
+        print(f"{name:<48} dim={meta['dim']} depth={meta['depth']} "
+              f"task_head={meta.get('with_task_head', False)}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="iTask reproduction command-line interface",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("tasks", help="list the mission library").set_defaults(
+        func=_cmd_tasks)
+
+    graph = sub.add_parser("graph", help="show a mission's knowledge graph")
+    graph.add_argument("--task", required=True)
+    graph.add_argument("--dot", action="store_true",
+                       help="emit Graphviz DOT instead of ASCII")
+    graph.set_defaults(func=_cmd_graph)
+
+    detect = sub.add_parser("detect", help="detect on a generated scene")
+    detect.add_argument("--task", required=True)
+    detect.add_argument("--seed", type=int, default=0,
+                        help="artifact cache seed")
+    detect.add_argument("--scene-seed", type=int, default=42)
+    detect.add_argument("--out", default=None,
+                        help="write annotated scene PPM here")
+    detect.set_defaults(func=_cmd_detect)
+
+    simulate = sub.add_parser("simulate",
+                              help="accelerator + GPU performance report")
+    simulate.add_argument("--seed", type=int, default=0)
+    simulate.add_argument("--batch", type=int, default=1)
+    simulate.set_defaults(func=_cmd_simulate)
+
+    sub.add_parser("models", help="list cached models").set_defaults(
+        func=_cmd_models)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,47 @@
+"""The iTask framework: task specs, dual configurations, deployment.
+
+This is the paper's system layer.  A mission arrives as a
+:class:`TaskSpec` (text + optional support examples); the pipeline
+
+1. asks the (simulated) LLM for the task knowledge graph,
+2. refines the graph with the support examples,
+3. selects a model configuration — the distilled *task-specific* ViT
+   when a suitable specialist exists, otherwise the *quantized*
+   multi-task ViT (:class:`ConfigurationSelector`),
+4. deploys on the chosen backend (CPU float execution, or the
+   accelerator for the quantized configuration) and runs task-oriented
+   detection.
+"""
+
+from repro.core.taskspec import TaskSpec
+from repro.core.configurations import (
+    ModelConfiguration,
+    TaskSpecificConfiguration,
+    QuantizedConfiguration,
+    build_teacher,
+    build_multitask_student,
+    distill_task_student,
+    build_quantized_configuration,
+)
+from repro.core.selector import ConfigurationSelector, SelectionDecision
+from repro.core.pipeline import ITaskPipeline, PipelineResult
+from repro.core.registry import ModelRegistry
+from repro.core.artifacts import ArtifactBuilder, default_artifact_dir
+
+__all__ = [
+    "TaskSpec",
+    "ModelConfiguration",
+    "TaskSpecificConfiguration",
+    "QuantizedConfiguration",
+    "build_teacher",
+    "build_multitask_student",
+    "distill_task_student",
+    "build_quantized_configuration",
+    "ConfigurationSelector",
+    "SelectionDecision",
+    "ITaskPipeline",
+    "PipelineResult",
+    "ModelRegistry",
+    "ArtifactBuilder",
+    "default_artifact_dir",
+]

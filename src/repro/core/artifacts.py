@@ -1,0 +1,114 @@
+"""Artifact cache: train once, reuse across examples and benchmarks.
+
+Teacher training plus eight specialist distillations take a few minutes
+of single-core CPU; the benchmarks regenerating the paper's tables
+should not each pay that.  :class:`ArtifactBuilder` memoizes trained
+models in a :class:`~repro.core.registry.ModelRegistry` under the repo's
+``.artifacts/`` directory (override with ``REPRO_ARTIFACT_DIR``), keyed
+by a schema-version string so stale caches invalidate themselves when
+training recipes change.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.core.configurations import (
+    QuantizedConfiguration,
+    TaskSpecificConfiguration,
+    build_multitask_student,
+    build_quantized_configuration,
+    build_teacher,
+    distill_task_student,
+)
+from repro.core.registry import ModelRegistry
+from repro.data.tasks import TaskDefinition, get_task
+from repro.nn import VisionTransformer
+
+SCHEMA_VERSION = "v2"
+
+
+def default_artifact_dir() -> str:
+    override = os.environ.get("REPRO_ARTIFACT_DIR")
+    if override:
+        return override
+    package_root = os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))))
+    return os.path.join(package_root, ".artifacts")
+
+
+class ArtifactBuilder:
+    """Build-or-load trained models."""
+
+    def __init__(self, root: Optional[str] = None, seed: int = 0,
+                 teacher_epochs: int = 25, student_epochs: int = 20,
+                 specialist_epochs: int = 30, verbose: bool = True) -> None:
+        self.registry = ModelRegistry(root or default_artifact_dir())
+        self.seed = seed
+        self.teacher_epochs = teacher_epochs
+        self.student_epochs = student_epochs
+        self.specialist_epochs = specialist_epochs
+        self.verbose = verbose
+
+    def _key(self, name: str) -> str:
+        return (f"{SCHEMA_VERSION}-s{self.seed}"
+                f"-e{self.teacher_epochs}x{self.student_epochs}-{name}")
+
+    def _log(self, message: str) -> None:
+        if self.verbose:
+            print(f"[artifacts] {message}")
+
+    # ------------------------------------------------------------------
+    def teacher(self) -> VisionTransformer:
+        key = self._key("teacher")
+        if self.registry.exists(key):
+            return self.registry.load(key)
+        self._log(f"training teacher ({self.teacher_epochs} epochs)...")
+        model = build_teacher(epochs=self.teacher_epochs, seed=self.seed)
+        self.registry.save(key, model, extra={"role": "teacher"})
+        return model
+
+    def multitask_student(self) -> VisionTransformer:
+        key = self._key("student-multitask")
+        if self.registry.exists(key):
+            return self.registry.load(key)
+        teacher = self.teacher()
+        self._log(f"distilling multi-task student ({self.student_epochs} epochs)...")
+        model = build_multitask_student(
+            teacher, epochs=self.student_epochs, seed=self.seed + 1,
+        )
+        self.registry.save(key, model, extra={"role": "student-multitask"})
+        return model
+
+    def task_student(self, task: TaskDefinition) -> TaskSpecificConfiguration:
+        key = self._key(f"specialist{self.specialist_epochs}-{task.name}")
+        if self.registry.exists(key):
+            model = self.registry.load(key)
+            return TaskSpecificConfiguration(
+                name=f"task-specific:{task.name}", kind="task_specific",
+                student=model, task_name=task.name,
+            )
+        teacher = self.teacher()
+        self._log(f"distilling specialist for {task.name!r}...")
+        configuration = distill_task_student(
+            teacher, task, epochs=self.specialist_epochs, seed=self.seed + 2,
+            num_positive=300, num_negative=360,
+        )
+        self.registry.save(key, configuration.student,
+                           extra={"role": "student-task", "task": task.name})
+        return configuration
+
+    def task_student_by_name(self, task_name: str) -> TaskSpecificConfiguration:
+        return self.task_student(get_task(task_name))
+
+    def quantized(self, weight_bits: int = 8,
+                  act_bits: int = 8) -> QuantizedConfiguration:
+        """Quantize the cached multi-task student (PTQ is fast, not cached)."""
+        student = self.multitask_student()
+        return build_quantized_configuration(
+            student, weight_bits=weight_bits, act_bits=act_bits,
+            seed=self.seed + 3,
+        )

@@ -1,0 +1,182 @@
+"""The paper's two model configurations and their builders.
+
+* **Task-specific configuration** — a compact ViT distilled from the
+  teacher on one task's data distribution; highest accuracy on that task,
+  degrades off-task.
+* **Quantized configuration** — the multi-task student post-training
+  quantized to int8; slightly lower accuracy per task but uniform across
+  tasks and deployable on the accelerator.
+
+Builders are deterministic given their seeds, so experiment scripts can
+rebuild identical models (or load them from the artifact cache).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.data import attribute_head_spec, build_task_windows, build_window_dataset
+from repro.data.datasets import WindowDataset, num_classes
+from repro.data.tasks import TaskDefinition
+from repro.distill import (
+    DistillationConfig,
+    Distiller,
+    ModelTrainer,
+    TrainingConfig,
+)
+from repro.nn import VisionTransformer, ViTConfig
+from repro.quant import QuantSpec, quantize_vit
+from repro.quant.vit import QuantizedVisionTransformer
+
+
+@dataclasses.dataclass
+class ModelConfiguration:
+    """Base: a deployable model plus its provenance metadata."""
+
+    name: str
+    kind: str  # "task_specific" | "quantized"
+
+    @property
+    def model(self):
+        raise NotImplementedError
+
+
+@dataclasses.dataclass
+class TaskSpecificConfiguration(ModelConfiguration):
+    """Distilled float specialist for one task."""
+
+    student: VisionTransformer = None
+    task_name: str = ""
+
+    def __post_init__(self) -> None:
+        self.kind = "task_specific"
+
+    @property
+    def model(self) -> VisionTransformer:
+        return self.student
+
+
+@dataclasses.dataclass
+class QuantizedConfiguration(ModelConfiguration):
+    """Quantized multi-task generalist."""
+
+    quantized: QuantizedVisionTransformer = None
+
+    def __post_init__(self) -> None:
+        self.kind = "quantized"
+
+    @property
+    def model(self) -> QuantizedVisionTransformer:
+        return self.quantized
+
+
+# ----------------------------------------------------------------------
+# builders
+# ----------------------------------------------------------------------
+def build_teacher(
+    dataset: Optional[WindowDataset] = None,
+    epochs: int = 25,
+    seed: int = 0,
+) -> VisionTransformer:
+    """Train the broad-distribution teacher."""
+    dataset = dataset or build_window_dataset(
+        seed=seed, num_category_objects=480, num_distractors=120,
+        num_background=120,
+    )
+    rng = np.random.default_rng(seed)
+    teacher = VisionTransformer(
+        ViTConfig.teacher(num_classes(), attribute_head_spec()), rng=rng
+    )
+    trainer = ModelTrainer(teacher, TrainingConfig(
+        epochs=epochs, batch_size=48, learning_rate=2e-3, seed=seed,
+    ))
+    trainer.fit(dataset)
+    return teacher
+
+
+def build_multitask_student(
+    teacher: VisionTransformer,
+    dataset: Optional[WindowDataset] = None,
+    epochs: int = 20,
+    seed: int = 1,
+    distill_config: Optional[DistillationConfig] = None,
+) -> VisionTransformer:
+    """Distill the generalist student on the broad distribution."""
+    dataset = dataset or build_window_dataset(
+        seed=seed, num_category_objects=480, num_distractors=120,
+        num_background=120,
+    )
+    rng = np.random.default_rng(seed)
+    student = VisionTransformer(
+        ViTConfig.student(num_classes(), attribute_head_spec()), rng=rng
+    )
+    config = distill_config or DistillationConfig(
+        epochs=epochs, batch_size=48, learning_rate=2e-3, seed=seed,
+    )
+    Distiller(teacher, student, config, rng=rng).distill(dataset)
+    return student
+
+
+def distill_task_student(
+    teacher: VisionTransformer,
+    task: TaskDefinition,
+    epochs: int = 20,
+    seed: int = 2,
+    num_positive: int = 220,
+    num_negative: int = 260,
+    distill_config: Optional[DistillationConfig] = None,
+) -> TaskSpecificConfiguration:
+    """Distill a specialist on one task's distribution.
+
+    Two things make the specialist task-specific: its training windows
+    oversample the mission's positives and near-miss negatives, and it
+    carries a binary task-relevance head supervised by the mission labels
+    — the knowledge graph's decision distilled into the network.
+    """
+    dataset = build_task_windows(
+        task, seed=seed, num_positive=num_positive, num_negative=num_negative,
+        hard_negative_fraction=0.6, near_miss_fraction=0.6,
+    )
+    rng = np.random.default_rng(seed)
+    base = ViTConfig.student(num_classes(), attribute_head_spec())
+    student = VisionTransformer(
+        dataclasses.replace(base, with_task_head=True), rng=rng
+    )
+    config = distill_config or DistillationConfig(
+        epochs=epochs, batch_size=48, learning_rate=2e-3, seed=seed,
+        task_label_weight=1.0,
+    )
+    Distiller(teacher, student, config, rng=rng).distill(dataset)
+    return TaskSpecificConfiguration(
+        name=f"task-specific:{task.name}", kind="task_specific",
+        student=student, task_name=task.name,
+    )
+
+
+def build_quantized_configuration(
+    student: VisionTransformer,
+    calibration: Optional[np.ndarray] = None,
+    weight_bits: int = 8,
+    act_bits: int = 8,
+    seed: int = 3,
+) -> QuantizedConfiguration:
+    """PTQ-quantize the multi-task student (the deployable configuration)."""
+    if calibration is None:
+        calibration = build_window_dataset(
+            seed=seed, num_category_objects=96, num_distractors=32,
+            num_background=32,
+        ).images
+    quantized = quantize_vit(
+        student,
+        calibration,
+        weight_spec=QuantSpec(bits=weight_bits, symmetric=True,
+                              per_channel=True, axis=0),
+        act_spec=QuantSpec(bits=act_bits, symmetric=False),
+    )
+    return QuantizedConfiguration(
+        name=f"quantized:w{weight_bits}a{act_bits}", kind="quantized",
+        quantized=quantized,
+    )

@@ -1,0 +1,133 @@
+"""End-to-end iTask pipeline.
+
+``mission text → knowledge graph → (refine with support) → select
+configuration → detect``.  The pipeline is the object the examples and
+the E1/E2/E5/E8 experiments drive.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.configurations import (
+    ModelConfiguration,
+    QuantizedConfiguration,
+    TaskSpecificConfiguration,
+)
+from repro.core.selector import ConfigurationSelector, SelectionDecision
+from repro.core.taskspec import TaskSpec
+from repro.data.scenes import Scene
+from repro.detect.metrics import task_accuracy
+from repro.detect.pipeline import Detection, TaskDetector
+from repro.kg.llm import SimulatedLLM
+from repro.kg.matcher import GraphMatcher
+from repro.kg.refinement import refine_with_examples
+from repro.kg.schema import KnowledgeGraph
+
+
+@dataclasses.dataclass
+class PipelineResult:
+    """Everything the pipeline derived for one mission."""
+
+    spec: TaskSpec
+    kg: KnowledgeGraph
+    decision: SelectionDecision
+    configuration: ModelConfiguration
+    detector: TaskDetector
+
+
+class ITaskPipeline:
+    """The deployed iTask system.
+
+    Parameters
+    ----------
+    quantized_configuration:
+        The always-available generalist.
+    specialists:
+        Optional distilled specialists by task name.
+    llm:
+        Knowledge-graph generator (noise-configurable for ablations).
+    selector:
+        Configuration-selection policy; built automatically from the
+        specialists' graphs when omitted.
+    use_kg:
+        Ablation switch — ``False`` disables graph matching entirely and
+        detection degrades to objectness-only (data-only baseline).
+    refine_kg:
+        Ablation switch for few-shot graph refinement.
+    """
+
+    def __init__(
+        self,
+        quantized_configuration: QuantizedConfiguration,
+        specialists: Optional[Dict[str, TaskSpecificConfiguration]] = None,
+        llm: Optional[SimulatedLLM] = None,
+        selector: Optional[ConfigurationSelector] = None,
+        score_threshold: float = 0.35,
+        use_kg: bool = True,
+        refine_kg: bool = True,
+    ) -> None:
+        self.quantized_configuration = quantized_configuration
+        self.specialists = dict(specialists or {})
+        self.llm = llm or SimulatedLLM()
+        self.score_threshold = score_threshold
+        self.use_kg = use_kg
+        self.refine_kg = refine_kg
+        # Specialists registered at construction get graphs via
+        # register_specialist(); an empty selector is the safe default.
+        self.selector = selector or ConfigurationSelector()
+
+    # ------------------------------------------------------------------
+    def register_specialist(self, task_name: str,
+                            configuration: TaskSpecificConfiguration,
+                            kg: KnowledgeGraph) -> None:
+        """Make a distilled specialist available for selection."""
+        self.specialists[task_name] = configuration
+        self.selector.register_specialist(task_name, kg)
+
+    # ------------------------------------------------------------------
+    def build_kg(self, spec: TaskSpec) -> KnowledgeGraph:
+        kg = self.llm.generate(spec.name, spec.mission_text)
+        if self.refine_kg and spec.support_positives:
+            kg = refine_with_examples(
+                kg, spec.support_positives, spec.support_negatives,
+            )
+        return kg
+
+    def prepare(self, spec: TaskSpec, multi_task: bool = False,
+                latency_budget_ms: Optional[float] = None) -> PipelineResult:
+        """Resolve a mission into a ready-to-run detector."""
+        kg = self.build_kg(spec)
+        decision = self.selector.select(
+            kg, multi_task=multi_task, latency_budget_ms=latency_budget_ms,
+        )
+        if (decision.kind == "task_specific"
+                and decision.specialist_name in self.specialists):
+            configuration: ModelConfiguration = self.specialists[decision.specialist_name]
+        else:
+            configuration = self.quantized_configuration
+            decision = dataclasses.replace(decision, kind="quantized")
+        matcher = GraphMatcher(kg) if self.use_kg else None
+        detector = TaskDetector(
+            configuration.model, matcher=matcher,
+            score_threshold=self.score_threshold,
+        )
+        return PipelineResult(
+            spec=spec, kg=kg, decision=decision,
+            configuration=configuration, detector=detector,
+        )
+
+    # ------------------------------------------------------------------
+    def detect(self, spec: TaskSpec, scene: Scene, **prepare_kwargs) -> List[Detection]:
+        return self.prepare(spec, **prepare_kwargs).detector.detect(scene)
+
+    def evaluate(self, spec: TaskSpec, scenes: Sequence[Scene],
+                 **prepare_kwargs) -> float:
+        """Task accuracy of the resolved configuration over scenes."""
+        if spec.definition is None:
+            raise ValueError("evaluation requires spec.definition ground truth")
+        result = self.prepare(spec, **prepare_kwargs)
+        return task_accuracy(result.detector, scenes, spec.definition)

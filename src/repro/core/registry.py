@@ -1,0 +1,91 @@
+"""Model registry: persist and reload configurations by name."""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.data import attribute_head_spec
+from repro.data.datasets import num_classes
+from repro.nn import VisionTransformer, ViTConfig, load_state_dict, save_state_dict
+
+
+class ModelRegistry:
+    """Directory-backed store of named ViT checkpoints.
+
+    Layout: ``<root>/<name>.npz`` (weights) + ``<root>/<name>.json``
+    (the ViTConfig needed to rebuild the module).
+    """
+
+    def __init__(self, root: str) -> None:
+        self.root = os.path.abspath(root)
+        os.makedirs(self.root, exist_ok=True)
+
+    def _paths(self, name: str) -> Dict[str, str]:
+        safe = name.replace("/", "_")
+        return {
+            "weights": os.path.join(self.root, f"{safe}.npz"),
+            "meta": os.path.join(self.root, f"{safe}.json"),
+        }
+
+    # ------------------------------------------------------------------
+    def save(self, name: str, model: VisionTransformer,
+             extra: Optional[Dict] = None) -> None:
+        paths = self._paths(name)
+        save_state_dict(model.state_dict(), paths["weights"])
+        cfg = model.config
+        meta = {
+            "image_size": cfg.image_size,
+            "patch_size": cfg.patch_size,
+            "in_channels": cfg.in_channels,
+            "dim": cfg.dim,
+            "depth": cfg.depth,
+            "num_heads": cfg.num_heads,
+            "mlp_ratio": cfg.mlp_ratio,
+            "num_classes": cfg.num_classes,
+            "attribute_heads": list(map(list, cfg.attribute_heads)),
+            "with_task_head": cfg.with_task_head,
+            "extra": extra or {},
+        }
+        with open(paths["meta"], "w") as handle:
+            json.dump(meta, handle, indent=2)
+
+    def load(self, name: str) -> VisionTransformer:
+        paths = self._paths(name)
+        if not os.path.exists(paths["meta"]):
+            raise FileNotFoundError(f"no registered model named {name!r}")
+        with open(paths["meta"]) as handle:
+            meta = json.load(handle)
+        config = ViTConfig(
+            image_size=meta["image_size"],
+            patch_size=meta["patch_size"],
+            in_channels=meta["in_channels"],
+            dim=meta["dim"],
+            depth=meta["depth"],
+            num_heads=meta["num_heads"],
+            mlp_ratio=meta["mlp_ratio"],
+            num_classes=meta["num_classes"],
+            attribute_heads=tuple(
+                (name_, card) for name_, card in meta["attribute_heads"]
+            ),
+            with_task_head=meta.get("with_task_head", False),
+        )
+        model = VisionTransformer(config, rng=np.random.default_rng(0))
+        model.load_state_dict(load_state_dict(paths["weights"]))
+        model.eval()
+        return model
+
+    def exists(self, name: str) -> bool:
+        return os.path.exists(self._paths(name)["meta"])
+
+    def names(self) -> List[str]:
+        return sorted(
+            fname[:-5] for fname in os.listdir(self.root) if fname.endswith(".json")
+        )
+
+    def metadata(self, name: str) -> Dict:
+        with open(self._paths(name)["meta"]) as handle:
+            return json.load(handle)

@@ -1,0 +1,109 @@
+"""Situational configuration selection.
+
+The paper's "dual-configuration approach and situational adaptability":
+given an incoming mission, decide whether to deploy a distilled
+specialist (best accuracy, one task) or the quantized generalist (robust
+across tasks, accelerator-ready).  The policy:
+
+1. embed the mission's knowledge graph and compare it against the graphs
+   of the available specialists (:func:`repro.kg.task_similarity`);
+2. if the best similarity clears ``similarity_threshold`` and the caller
+   is not asking for multi-task operation, pick that specialist;
+3. otherwise fall back to the quantized generalist.
+
+A latency budget can force the quantized configuration regardless, since
+only it runs on the accelerator.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Tuple
+
+from repro.kg.embedding import task_similarity
+from repro.kg.schema import KnowledgeGraph
+
+
+@dataclasses.dataclass
+class SelectionDecision:
+    """Outcome of configuration selection, with its rationale."""
+
+    kind: str                      # "task_specific" | "quantized"
+    specialist_name: Optional[str]
+    similarity: float
+    rationale: str
+
+
+class ConfigurationSelector:
+    """Choose between specialists and the quantized generalist."""
+
+    def __init__(
+        self,
+        specialist_graphs: Optional[Dict[str, KnowledgeGraph]] = None,
+        similarity_threshold: float = 0.8,
+        accelerator_latency_ms: Optional[float] = None,
+        specialist_latency_ms: Optional[float] = None,
+    ) -> None:
+        if not 0.0 <= similarity_threshold <= 1.0:
+            raise ValueError("similarity_threshold must be in [0, 1]")
+        self.specialist_graphs = dict(specialist_graphs or {})
+        self.similarity_threshold = similarity_threshold
+        self.accelerator_latency_ms = accelerator_latency_ms
+        self.specialist_latency_ms = specialist_latency_ms
+
+    def register_specialist(self, name: str, kg: KnowledgeGraph) -> None:
+        self.specialist_graphs[name] = kg
+
+    def best_specialist(self, kg: KnowledgeGraph) -> Tuple[Optional[str], float]:
+        best_name, best_sim = None, -1.0
+        for name, specialist_kg in self.specialist_graphs.items():
+            sim = task_similarity(kg, specialist_kg)
+            if sim > best_sim:
+                best_name, best_sim = name, sim
+        return best_name, best_sim
+
+    def select(
+        self,
+        kg: KnowledgeGraph,
+        multi_task: bool = False,
+        latency_budget_ms: Optional[float] = None,
+    ) -> SelectionDecision:
+        """Pick a configuration for the mission graph ``kg``."""
+        if multi_task:
+            return SelectionDecision(
+                kind="quantized", specialist_name=None, similarity=0.0,
+                rationale="multi-task operation requested; generalist required",
+            )
+        if (
+            latency_budget_ms is not None
+            and self.specialist_latency_ms is not None
+            and self.specialist_latency_ms > latency_budget_ms
+        ):
+            if (self.accelerator_latency_ms is None
+                    or self.accelerator_latency_ms <= latency_budget_ms):
+                return SelectionDecision(
+                    kind="quantized", specialist_name=None, similarity=0.0,
+                    rationale=(
+                        f"latency budget {latency_budget_ms} ms rules out the "
+                        "float specialist; quantized configuration deploys on "
+                        "the accelerator"
+                    ),
+                )
+        name, similarity = self.best_specialist(kg)
+        if name is not None and similarity >= self.similarity_threshold:
+            return SelectionDecision(
+                kind="task_specific", specialist_name=name,
+                similarity=similarity,
+                rationale=(
+                    f"specialist {name!r} matches the mission graph "
+                    f"(similarity {similarity:.2f} ≥ {self.similarity_threshold})"
+                ),
+            )
+        return SelectionDecision(
+            kind="quantized", specialist_name=None,
+            similarity=max(similarity, 0.0),
+            rationale=(
+                "no specialist close enough "
+                f"(best similarity {similarity:.2f} < {self.similarity_threshold})"
+            ),
+        )

@@ -1,0 +1,43 @@
+"""Task specification: what the operator hands the system."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Sequence
+
+from repro.data.ontology import AttributeProfile
+from repro.data.tasks import TaskDefinition
+
+
+@dataclasses.dataclass
+class TaskSpec:
+    """A mission as the system receives it.
+
+    ``support_positives``/``support_negatives`` are the "limited samples"
+    of the paper: a handful of annotated example objects (their attribute
+    profiles) used to refine the LLM-generated knowledge graph.  The
+    ``definition`` backlink is optional and used only by evaluation code
+    (ground truth); the pipeline itself never reads it.
+    """
+
+    name: str
+    mission_text: str
+    support_positives: List[AttributeProfile] = dataclasses.field(default_factory=list)
+    support_negatives: List[Optional[AttributeProfile]] = dataclasses.field(default_factory=list)
+    definition: Optional[TaskDefinition] = None
+
+    @staticmethod
+    def from_definition(task: TaskDefinition,
+                        support_positives: Sequence[AttributeProfile] = (),
+                        support_negatives: Sequence[Optional[AttributeProfile]] = ()) -> "TaskSpec":
+        return TaskSpec(
+            name=task.name,
+            mission_text=task.mission_text,
+            support_positives=list(support_positives),
+            support_negatives=list(support_negatives),
+            definition=task,
+        )
+
+    @property
+    def num_shots(self) -> int:
+        return len(self.support_positives)

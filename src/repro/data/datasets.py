@@ -1,0 +1,319 @@
+"""Window-level datasets for training and evaluating the iTask models.
+
+The detection pipeline classifies fixed-size windows (grid cells of a
+scene), so training data is generated directly at window granularity:
+object windows carry a category label and per-family attribute labels;
+background/clutter windows carry the background class and attribute label
+``-1`` (masked out of the attribute losses).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.data.ontology import (
+    ATTRIBUTE_FAMILIES,
+    AttributeProfile,
+    category_names,
+    category_of_profile,
+    profile_for_category,
+    sample_profile,
+)
+from repro.data.rendering import (
+    WINDOW_SIZE,
+    render_background,
+    render_clutter,
+    render_object,
+)
+from repro.data.tasks import TaskDefinition
+
+BACKGROUND_LABEL_NAME = "background"
+
+
+def class_names() -> List[str]:
+    """Class-head vocabulary: object categories plus a background class."""
+    return category_names() + [BACKGROUND_LABEL_NAME]
+
+
+def num_classes() -> int:
+    return len(class_names())
+
+
+def background_class_id() -> int:
+    return len(category_names())
+
+
+@dataclasses.dataclass
+class LabeledWindow:
+    """A single training/evaluation window."""
+
+    image: np.ndarray                       # (3, S, S) float32
+    class_id: int                           # index into class_names()
+    attributes: Dict[str, int]              # family -> index, -1 if background
+    profile: Optional[AttributeProfile]     # None for background/clutter
+    is_object: bool
+    task_relevant: Optional[bool] = None    # set for task-specific datasets
+
+
+@dataclasses.dataclass
+class WindowDataset:
+    """Columnar view over a list of windows (what the trainers consume)."""
+
+    images: np.ndarray                       # (N, 3, S, S)
+    class_labels: np.ndarray                 # (N,)
+    attribute_labels: Dict[str, np.ndarray]  # family -> (N,), -1 = masked
+    objectness: np.ndarray                   # (N,) float 0/1
+    task_labels: Optional[np.ndarray]        # (N,) float 0/1 or None
+    profiles: List[Optional[AttributeProfile]]
+
+    def __len__(self) -> int:
+        return self.images.shape[0]
+
+    def subset(self, indices: Sequence[int]) -> "WindowDataset":
+        idx = np.asarray(indices, dtype=np.int64)
+        return WindowDataset(
+            images=self.images[idx],
+            class_labels=self.class_labels[idx],
+            attribute_labels={k: v[idx] for k, v in self.attribute_labels.items()},
+            objectness=self.objectness[idx],
+            task_labels=None if self.task_labels is None else self.task_labels[idx],
+            profiles=[self.profiles[int(i)] for i in idx],
+        )
+
+    @staticmethod
+    def from_windows(windows: Sequence[LabeledWindow]) -> "WindowDataset":
+        if not windows:
+            raise ValueError("cannot build a dataset from zero windows")
+        images = np.stack([w.image for w in windows]).astype(np.float32)
+        class_labels = np.array([w.class_id for w in windows], dtype=np.int64)
+        attribute_labels = {
+            family: np.array([w.attributes.get(family, -1) for w in windows],
+                             dtype=np.int64)
+            for family in ATTRIBUTE_FAMILIES
+        }
+        objectness = np.array([1.0 if w.is_object else 0.0 for w in windows],
+                              dtype=np.float32)
+        if any(w.task_relevant is not None for w in windows):
+            task_labels = np.array(
+                [1.0 if w.task_relevant else 0.0 for w in windows], dtype=np.float32
+            )
+        else:
+            task_labels = None
+        return WindowDataset(
+            images=images,
+            class_labels=class_labels,
+            attribute_labels=attribute_labels,
+            objectness=objectness,
+            task_labels=task_labels,
+            profiles=[w.profile for w in windows],
+        )
+
+
+def _object_window(profile: AttributeProfile, rng: np.random.Generator,
+                   task: Optional[TaskDefinition] = None) -> LabeledWindow:
+    category = category_of_profile(profile)
+    class_id = (
+        category_names().index(category) if category is not None
+        else background_class_id()
+    )
+    # Distractor objects are "background" for the class head but keep
+    # their attribute labels — the KG path must still see their attributes.
+    return LabeledWindow(
+        image=render_object(profile, rng=rng),
+        class_id=class_id,
+        attributes=profile.as_indices(),
+        profile=profile,
+        is_object=True,
+        task_relevant=None if task is None else task.matches(profile),
+    )
+
+
+def _background_window(rng: np.random.Generator, clutter: bool,
+                       task: Optional[TaskDefinition] = None) -> LabeledWindow:
+    image = render_clutter(rng) if clutter else render_background(rng)
+    return LabeledWindow(
+        image=image,
+        class_id=background_class_id(),
+        attributes={family: -1 for family in ATTRIBUTE_FAMILIES},
+        profile=None,
+        is_object=False,
+        task_relevant=None if task is None else False,
+    )
+
+
+def build_window_dataset(
+    seed: int = 0,
+    num_category_objects: int = 400,
+    num_distractors: int = 100,
+    num_background: int = 100,
+    clutter_fraction: float = 0.4,
+) -> WindowDataset:
+    """General-purpose training distribution over all categories.
+
+    Used to train the teacher and the multi-task student.
+    """
+    rng = np.random.default_rng(seed)
+    windows: List[LabeledWindow] = []
+    names = category_names()
+    for i in range(num_category_objects):
+        category = names[int(rng.integers(len(names)))]
+        windows.append(_object_window(profile_for_category(category, rng), rng))
+    for _ in range(num_distractors):
+        profile = sample_profile(rng)
+        windows.append(_object_window(profile, rng))
+    for i in range(num_background):
+        windows.append(_background_window(rng, clutter=rng.random() < clutter_fraction))
+    order = rng.permutation(len(windows))
+    return WindowDataset.from_windows([windows[int(i)] for i in order])
+
+
+def build_task_windows(
+    task: TaskDefinition,
+    seed: int = 0,
+    num_positive: int = 150,
+    num_negative: int = 250,
+    hard_negative_fraction: float = 0.5,
+    near_miss_fraction: float = 0.3,
+) -> WindowDataset:
+    """Task-conditioned dataset: positives satisfy the mission predicate.
+
+    Negatives come in three tiers of difficulty:
+
+    * **near-miss** — a matching profile with exactly one constrained
+      family flipped to a violating value (``near_miss_fraction`` of the
+      hard negatives).  These sit right at the predicate boundary and are
+      what separates the task-specific from the quantized configuration;
+    * **hard** — random object profiles violating the predicate;
+    * **easy** — background / clutter windows.
+
+    Used to distill and to evaluate the task-specific configuration.
+    """
+    rng = np.random.default_rng(seed)
+    windows: List[LabeledWindow] = []
+
+    produced = 0
+    attempts = 0
+    while produced < num_positive:
+        attempts += 1
+        if attempts > num_positive * 500:
+            raise RuntimeError(
+                f"could not sample positives for task {task.name!r}; "
+                "predicate too restrictive"
+            )
+        profile = _sample_matching(task, rng)
+        if profile is None:
+            continue
+        windows.append(_object_window(profile, rng, task=task))
+        produced += 1
+
+    num_hard = int(num_negative * hard_negative_fraction)
+    num_near = int(num_hard * near_miss_fraction)
+    produced = 0
+    attempts = 0
+    while produced < num_near:
+        attempts += 1
+        if attempts > num_negative * 500:
+            break
+        profile = _sample_near_miss(task, rng)
+        if profile is None:
+            continue
+        windows.append(_object_window(profile, rng, task=task))
+        produced += 1
+    attempts = 0
+    while produced < num_hard:
+        attempts += 1
+        if attempts > num_negative * 500:
+            break
+        profile = sample_profile(rng)
+        if task.matches(profile):
+            continue
+        windows.append(_object_window(profile, rng, task=task))
+        produced += 1
+    for _ in range(num_negative - produced):
+        windows.append(_background_window(rng, clutter=rng.random() < 0.5, task=task))
+
+    order = rng.permutation(len(windows))
+    return WindowDataset.from_windows([windows[int(i)] for i in order])
+
+
+def _sample_near_miss(task: TaskDefinition,
+                      rng: np.random.Generator) -> Optional[AttributeProfile]:
+    """A profile at the predicate boundary: matches everywhere except one
+    constrained family, flipped to a violating value."""
+    base = _sample_matching(task, rng)
+    if base is None:
+        return None
+    constrained = task.predicate.constrained_families
+    if not constrained:
+        return None
+    family = constrained[int(rng.integers(len(constrained)))]
+    allowed = task.predicate.allowed.get(family)
+    forbidden = task.predicate.forbidden.get(family)
+    vocab = list(ATTRIBUTE_FAMILIES[family])
+    if allowed is not None:
+        violating = [v for v in vocab if v not in allowed]
+    else:
+        violating = sorted(forbidden) if forbidden else []
+    if not violating:
+        return None
+    flipped = base.replace(**{family: violating[int(rng.integers(len(violating)))]})
+    return None if task.matches(flipped) else flipped
+
+
+def _sample_matching(task: TaskDefinition,
+                     rng: np.random.Generator) -> Optional[AttributeProfile]:
+    """Sample a profile satisfying the task predicate.
+
+    Seeds the constrained families from the predicate's allowed sets, then
+    verifies against the full predicate (to honor ``forbidden``).
+    """
+    fixed = {}
+    for family, values in task.predicate.allowed.items():
+        choices = sorted(values)
+        fixed[family] = choices[int(rng.integers(len(choices)))]
+    profile = sample_profile(rng, fixed=fixed)
+    return profile if task.matches(profile) else None
+
+
+def few_shot_split(dataset: WindowDataset, shots: int,
+                   seed: int = 0) -> Tuple[WindowDataset, WindowDataset]:
+    """Split a task dataset into ``shots`` positive (+ equal negative)
+    support windows and the remaining query set.
+
+    Mirrors the paper's limited-sample adaptation setting.
+    """
+    if dataset.task_labels is None:
+        raise ValueError("few_shot_split requires a task-labelled dataset")
+    rng = np.random.default_rng(seed)
+    positives = np.flatnonzero(dataset.task_labels > 0.5)
+    negatives = np.flatnonzero(dataset.task_labels <= 0.5)
+    if len(positives) < shots or len(negatives) < shots:
+        raise ValueError(
+            f"need at least {shots} positives and negatives, have "
+            f"{len(positives)}/{len(negatives)}"
+        )
+    support_idx = np.concatenate([
+        rng.choice(positives, size=shots, replace=False),
+        rng.choice(negatives, size=shots, replace=False),
+    ])
+    support_mask = np.zeros(len(dataset), dtype=bool)
+    support_mask[support_idx] = True
+    query_idx = np.flatnonzero(~support_mask)
+    return dataset.subset(support_idx), dataset.subset(query_idx)
+
+
+def batch_iterator(dataset: WindowDataset, batch_size: int,
+                   seed: Optional[int] = None,
+                   shuffle: bool = True) -> Iterator[WindowDataset]:
+    """Yield mini-batches as :class:`WindowDataset` views."""
+    if batch_size <= 0:
+        raise ValueError("batch_size must be positive")
+    indices = np.arange(len(dataset))
+    if shuffle:
+        rng = np.random.default_rng(seed)
+        rng.shuffle(indices)
+    for start in range(0, len(indices), batch_size):
+        yield dataset.subset(indices[start:start + batch_size])

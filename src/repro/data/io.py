@@ -1,0 +1,73 @@
+"""Image export without an imaging dependency.
+
+Scenes and windows are ``(3, H, W)`` float arrays in [0, 1]; binary PPM
+(P6) is the simplest portable container, viewable by practically every
+image tool.  Detections can be burned in as box outlines before export.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+def to_uint8(image: np.ndarray) -> np.ndarray:
+    """(3, H, W) float [0,1] → (H, W, 3) uint8."""
+    if image.ndim != 3 or image.shape[0] != 3:
+        raise ValueError(f"expected (3, H, W), got {image.shape}")
+    clipped = np.clip(image, 0.0, 1.0)
+    return (clipped.transpose(1, 2, 0) * 255.0 + 0.5).astype(np.uint8)
+
+
+def write_ppm(image: np.ndarray, path: str) -> None:
+    """Write a (3, H, W) float image as binary PPM (P6)."""
+    pixels = to_uint8(image)
+    height, width, _ = pixels.shape
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    with open(path, "wb") as handle:
+        handle.write(f"P6\n{width} {height}\n255\n".encode("ascii"))
+        handle.write(pixels.tobytes())
+
+
+def read_ppm(path: str) -> np.ndarray:
+    """Read a binary PPM back into (3, H, W) float [0, 1]."""
+    with open(path, "rb") as handle:
+        magic = handle.readline().strip()
+        if magic != b"P6":
+            raise ValueError(f"not a binary PPM file: {path}")
+        dims = handle.readline().split()
+        width, height = int(dims[0]), int(dims[1])
+        maxval = int(handle.readline())
+        data = np.frombuffer(handle.read(width * height * 3), dtype=np.uint8)
+    pixels = data.reshape(height, width, 3).astype(np.float32) / maxval
+    return pixels.transpose(2, 0, 1)
+
+
+def draw_box(image: np.ndarray, bbox: Tuple[int, int, int, int],
+             color: Tuple[float, float, float] = (1.0, 1.0, 1.0),
+             thickness: int = 1) -> np.ndarray:
+    """Return a copy of ``image`` with a box outline burned in."""
+    out = image.copy()
+    x0, y0, x1, y1 = (int(v) for v in bbox)
+    height, width = image.shape[1], image.shape[2]
+    x0, x1 = max(x0, 0), min(x1, width)
+    y0, y1 = max(y0, 0), min(y1, height)
+    col = np.asarray(color, dtype=image.dtype).reshape(3, 1, 1)
+    t = max(1, thickness)
+    out[:, y0:y0 + t, x0:x1] = col
+    out[:, max(y1 - t, 0):y1, x0:x1] = col
+    out[:, y0:y1, x0:x0 + t] = col
+    out[:, y0:y1, max(x1 - t, 0):x1] = col
+    return out
+
+
+def export_scene(scene, path: str, detections: Optional[Iterable] = None) -> None:
+    """Export a scene (optionally with detection boxes) as PPM."""
+    image = scene.image
+    if detections is not None:
+        for detection in detections:
+            image = draw_box(image, detection.bbox)
+    write_ppm(image, path)

@@ -1,0 +1,155 @@
+"""Rasterization of attribute profiles into RGB pixel windows.
+
+The renderer is intentionally simple — coordinate-grid masks, no external
+imaging library — but every attribute family produces a visually distinct,
+learnable cue:
+
+* ``shape``  — the binary mask geometry,
+* ``color``  — the fill RGB,
+* ``size``   — the mask radius,
+* ``texture``— solid fill, stripe modulation, or dot lattice,
+* ``border`` — an outline ring of configurable thickness.
+
+Windows are ``(3, WINDOW_SIZE, WINDOW_SIZE)`` float32 in [0, 1].
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.data.ontology import COLOR_RGB, AttributeProfile
+
+WINDOW_SIZE = 32
+
+_SIZE_RADIUS = {"small": 0.28, "medium": 0.38, "large": 0.47}
+_BORDER_WIDTH = {"none": 0.0, "thin": 0.06, "thick": 0.14}
+
+
+def _shape_mask(shape: str, size: int, radius_frac: float) -> np.ndarray:
+    """Binary mask of ``shape`` centred in a ``size``×``size`` grid."""
+    coords = (np.arange(size) + 0.5) / size - 0.5  # [-0.5, 0.5)
+    yy, xx = np.meshgrid(coords, coords, indexing="ij")
+    r = radius_frac
+    if shape == "circle":
+        return xx ** 2 + yy ** 2 <= r ** 2
+    if shape == "ring":
+        dist2 = xx ** 2 + yy ** 2
+        return (dist2 <= r ** 2) & (dist2 >= (0.55 * r) ** 2)
+    if shape == "square":
+        return (np.abs(xx) <= r * 0.9) & (np.abs(yy) <= r * 0.9)
+    if shape == "diamond":
+        return np.abs(xx) + np.abs(yy) <= r * 1.2
+    if shape == "triangle":
+        # upward triangle: inside three half-planes
+        inside = yy <= r * 0.8
+        inside &= yy >= -r * 0.8 + 2.2 * np.abs(xx)
+        return inside
+    if shape == "cross":
+        arm = r * 0.35
+        return ((np.abs(xx) <= arm) & (np.abs(yy) <= r)) | (
+            (np.abs(yy) <= arm) & (np.abs(xx) <= r)
+        )
+    raise ValueError(f"unknown shape {shape!r}")
+
+
+def _texture_field(texture: str, size: int, phase: int = 0) -> np.ndarray:
+    """Multiplicative intensity field in [0,1] implementing the texture."""
+    if texture == "solid":
+        return np.ones((size, size))
+    idx = np.arange(size)
+    yy, xx = np.meshgrid(idx, idx, indexing="ij")
+    if texture == "striped":
+        period = max(4, size // 4)
+        return np.where(((yy + xx + phase) // (period // 2)) % 2 == 0, 1.0, 0.15)
+    if texture == "dotted":
+        period = max(4, size // 4)
+        on = ((yy + phase) % period < period // 2) & ((xx + phase) % period < period // 2)
+        return np.where(on, 1.0, 0.15)
+    raise ValueError(f"unknown texture {texture!r}")
+
+
+def render_object(
+    profile: AttributeProfile,
+    rng: Optional[np.random.Generator] = None,
+    size: int = WINDOW_SIZE,
+    background: Optional[np.ndarray] = None,
+    noise_std: float = 0.02,
+    jitter: float = 0.05,
+) -> np.ndarray:
+    """Render an attribute profile into a ``(3, size, size)`` window.
+
+    Small random brightness/phase/position jitter (driven by ``rng``)
+    provides intra-class appearance variation so the classifier cannot
+    memorize exact pixels.
+    """
+    rng = rng or np.random.default_rng()
+    radius = _SIZE_RADIUS[profile.size]
+    radius *= 1.0 + float(rng.uniform(-jitter, jitter))
+    mask = _shape_mask(profile.shape, size, radius)
+
+    # random sub-pixel-ish shift: roll the mask by up to ±size*jitter
+    max_shift = max(1, int(size * jitter))
+    dy, dx = rng.integers(-max_shift, max_shift + 1, size=2)
+    mask = np.roll(np.roll(mask, dy, axis=0), dx, axis=1)
+
+    texture = _texture_field(profile.texture, size, phase=int(rng.integers(0, 7)))
+    rgb = np.array(COLOR_RGB[profile.color]).reshape(3, 1, 1)
+    brightness = 1.0 + float(rng.uniform(-0.12, 0.12))
+
+    if background is None:
+        canvas = render_background(rng, size=size, noise_std=noise_std)
+    else:
+        canvas = background.copy()
+
+    fill = np.clip(rgb * texture[None] * brightness, 0.0, 1.0)
+    canvas = np.where(mask[None], fill, canvas)
+
+    border_width = _BORDER_WIDTH[profile.border]
+    if border_width > 0.0:
+        erode = max(1, int(round(border_width * size)))
+        inner = mask.copy()
+        for _ in range(erode):
+            inner = (
+                inner
+                & np.roll(inner, 1, 0) & np.roll(inner, -1, 0)
+                & np.roll(inner, 1, 1) & np.roll(inner, -1, 1)
+            )
+        ring = mask & ~inner
+        border_color = np.zeros((3, 1, 1)) if profile.color == "white" else np.ones((3, 1, 1))
+        canvas = np.where(ring[None], border_color * 0.95, canvas)
+
+    if noise_std > 0.0:
+        canvas = canvas + rng.normal(0.0, noise_std, size=canvas.shape)
+    return np.clip(canvas, 0.0, 1.0).astype(np.float32)
+
+
+def render_background(
+    rng: Optional[np.random.Generator] = None,
+    size: int = WINDOW_SIZE,
+    noise_std: float = 0.02,
+) -> np.ndarray:
+    """Low-intensity textured background with mild spatial gradient."""
+    rng = rng or np.random.default_rng()
+    base = float(rng.uniform(0.08, 0.22))
+    grad_dir = rng.standard_normal(2)
+    coords = np.linspace(-0.5, 0.5, size)
+    yy, xx = np.meshgrid(coords, coords, indexing="ij")
+    gradient = 0.05 * (grad_dir[0] * yy + grad_dir[1] * xx)
+    canvas = np.full((3, size, size), base) + gradient[None]
+    canvas += rng.normal(0.0, max(noise_std, 1e-4), size=canvas.shape)
+    return np.clip(canvas, 0.0, 1.0).astype(np.float32)
+
+
+def render_clutter(rng: np.random.Generator, size: int = WINDOW_SIZE) -> np.ndarray:
+    """Amorphous low-contrast blob used as a hard-negative distractor."""
+    canvas = render_background(rng, size=size)
+    coords = (np.arange(size) + 0.5) / size - 0.5
+    yy, xx = np.meshgrid(coords, coords, indexing="ij")
+    cy, cx = rng.uniform(-0.2, 0.2, size=2)
+    sigma = float(rng.uniform(0.08, 0.2))
+    blob = np.exp(-(((yy - cy) ** 2 + (xx - cx) ** 2) / (2 * sigma ** 2)))
+    tint = rng.uniform(0.15, 0.45, size=(3, 1, 1))
+    canvas = np.clip(canvas + blob[None] * tint, 0.0, 1.0)
+    return canvas.astype(np.float32)

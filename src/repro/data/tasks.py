@@ -1,0 +1,198 @@
+"""Task definitions: missions expressed as attribute predicates.
+
+A *task* in iTask is a mission like "flag every red hazard marker on the
+roadway".  Ground truth for a task is a predicate over attribute profiles;
+the natural-language ``mission_text`` is what the (simulated) LLM consumes
+to build the task knowledge graph.  Keeping both views on one object lets
+the benchmarks measure how faithfully the text→graph→matcher pipeline
+recovers the true predicate.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
+
+from repro.data.ontology import ATTRIBUTE_FAMILIES, AttributeProfile
+
+
+@dataclasses.dataclass(frozen=True)
+class AttributePredicate:
+    """Conjunction over attribute families.
+
+    ``allowed`` maps a family to the set of acceptable values (families
+    absent from the map are unconstrained); ``forbidden`` maps a family to
+    values that must NOT occur.  This covers every mission in the library
+    while staying analyzable (the KG matcher's scores can be compared
+    against exact predicate evaluation).
+    """
+
+    allowed: Mapping[str, FrozenSet[str]] = dataclasses.field(default_factory=dict)
+    forbidden: Mapping[str, FrozenSet[str]] = dataclasses.field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for mapping in (self.allowed, self.forbidden):
+            for family, values in mapping.items():
+                if family not in ATTRIBUTE_FAMILIES:
+                    raise KeyError(f"unknown attribute family {family!r}")
+                unknown = set(values) - set(ATTRIBUTE_FAMILIES[family])
+                if unknown:
+                    raise ValueError(f"unknown {family} values {sorted(unknown)}")
+
+    def matches(self, profile: AttributeProfile) -> bool:
+        attrs = profile.as_dict()
+        for family, values in self.allowed.items():
+            if attrs[family] not in values:
+                return False
+        for family, values in self.forbidden.items():
+            if attrs[family] in values:
+                return False
+        return True
+
+    @property
+    def constrained_families(self) -> List[str]:
+        return sorted(set(self.allowed) | set(self.forbidden))
+
+
+@dataclasses.dataclass(frozen=True)
+class TaskDefinition:
+    """A named mission: text for the LLM, predicate for ground truth."""
+
+    name: str
+    domain: str
+    mission_text: str
+    predicate: AttributePredicate
+
+    def matches(self, profile: AttributeProfile) -> bool:
+        return self.predicate.matches(profile)
+
+
+def _pred(allowed: Optional[Dict[str, Sequence[str]]] = None,
+          forbidden: Optional[Dict[str, Sequence[str]]] = None) -> AttributePredicate:
+    return AttributePredicate(
+        allowed={k: frozenset(v) for k, v in (allowed or {}).items()},
+        forbidden={k: frozenset(v) for k, v in (forbidden or {}).items()},
+    )
+
+
+# ----------------------------------------------------------------------
+# the mission library
+# ----------------------------------------------------------------------
+# Mission texts deliberately mention their attribute constraints with
+# natural phrasing; the SimulatedLLM extracts them the way a prompted LLM
+# would, including occasional omissions/hallucinations under noise.
+TASK_LIBRARY: Dict[str, TaskDefinition] = {
+    task.name: task
+    for task in [
+        TaskDefinition(
+            name="roadside_hazards",
+            domain="driving",
+            mission_text=(
+                "Patrol the roadway and flag every hazard indicator: look for "
+                "red, orange, or yellow markers of any kind. "
+                "Ignore small objects far from the lane."
+            ),
+            predicate=_pred(
+                allowed={"color": ("red", "orange", "yellow")},
+                forbidden={"size": ("small",)},
+            ),
+        ),
+        TaskDefinition(
+            name="stop_control",
+            domain="driving",
+            mission_text=(
+                "Identify traffic stop control devices. Target red square "
+                "signage with a solid fill."
+            ),
+            predicate=_pred(
+                allowed={"color": ("red",), "shape": ("square",),
+                         "texture": ("solid",)},
+            ),
+        ),
+        TaskDefinition(
+            name="sterile_supplies",
+            domain="healthcare",
+            mission_text=(
+                "Locate sterile supply containers in the ward: white square "
+                "boxes with a thick border. Do not report striped packaging."
+            ),
+            predicate=_pred(
+                allowed={"color": ("white",), "shape": ("square",),
+                         "border": ("thick",)},
+                forbidden={"texture": ("striped",)},
+            ),
+        ),
+        TaskDefinition(
+            name="biohazard_sweep",
+            domain="healthcare",
+            mission_text=(
+                "Sweep the lab for biohazard vials: any magenta striped "
+                "container is suspect. They are typically diamond shaped."
+            ),
+            predicate=_pred(
+                allowed={"color": ("magenta",), "texture": ("striped",)},
+            ),
+        ),
+        TaskDefinition(
+            name="valve_inspection",
+            domain="industrial",
+            mission_text=(
+                "Inspect the pipe gallery and register every valve wheel: "
+                "blue ring fixtures of medium or large size."
+            ),
+            predicate=_pred(
+                allowed={"color": ("blue",), "shape": ("ring",),
+                         "size": ("medium", "large")},
+            ),
+        ),
+        TaskDefinition(
+            name="cargo_audit",
+            domain="industrial",
+            mission_text=(
+                "Audit the storage bay for cargo units: cyan square crates "
+                "with a dotted surface pattern."
+            ),
+            predicate=_pred(
+                allowed={"color": ("cyan",), "shape": ("square",),
+                         "texture": ("dotted",)},
+            ),
+        ),
+        TaskDefinition(
+            name="control_panel_check",
+            domain="industrial",
+            mission_text=(
+                "Check the control wall and find green cross actuators. "
+                "Green cross markers only; ignore thin-border replicas."
+            ),
+            predicate=_pred(
+                allowed={"color": ("green",), "shape": ("cross",)},
+                forbidden={"border": ("thin",)},
+            ),
+        ),
+        TaskDefinition(
+            name="beacon_recovery",
+            domain="driving",
+            mission_text=(
+                "Recover dropped lane beacons: small orange circle markers "
+                "anywhere on the route."
+            ),
+            predicate=_pred(
+                allowed={"color": ("orange",), "shape": ("circle",),
+                         "size": ("small",)},
+            ),
+        ),
+    ]
+}
+
+
+def get_task(name: str) -> TaskDefinition:
+    try:
+        return TASK_LIBRARY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown task {name!r}; available: {sorted(TASK_LIBRARY)}"
+        ) from None
+
+
+def task_names() -> List[str]:
+    return list(TASK_LIBRARY)

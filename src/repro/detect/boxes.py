@@ -1,0 +1,68 @@
+"""Axis-aligned box utilities.
+
+Boxes are ``(x0, y0, x1, y1)`` with ``x0 < x1`` and ``y0 < y1``
+(half-open pixel coordinates, matching :class:`repro.data.Scene`).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+Box = Tuple[float, float, float, float]
+
+
+def box_area(box: Box) -> float:
+    x0, y0, x1, y1 = box
+    return max(0.0, x1 - x0) * max(0.0, y1 - y0)
+
+
+def box_iou(a: Box, b: Box) -> float:
+    """Intersection-over-union of two boxes, in [0, 1]."""
+    ix0, iy0 = max(a[0], b[0]), max(a[1], b[1])
+    ix1, iy1 = min(a[2], b[2]), min(a[3], b[3])
+    inter = max(0.0, ix1 - ix0) * max(0.0, iy1 - iy0)
+    if inter == 0.0:
+        return 0.0
+    union = box_area(a) + box_area(b) - inter
+    return inter / union if union > 0 else 0.0
+
+
+def clip_box(box: Box, width: float, height: float) -> Box:
+    """Clamp a box to image bounds."""
+    x0, y0, x1, y1 = box
+    return (
+        min(max(x0, 0.0), width),
+        min(max(y0, 0.0), height),
+        min(max(x1, 0.0), width),
+        min(max(y1, 0.0), height),
+    )
+
+
+def nms(boxes: Sequence[Box], scores: Sequence[float],
+        iou_threshold: float = 0.5) -> List[int]:
+    """Greedy non-maximum suppression.
+
+    Returns the indices of kept boxes, in descending score order.  The
+    classic invariants hold: kept boxes are mutually below the IoU
+    threshold, and every suppressed box overlaps some higher-scoring kept
+    box at or above it.
+    """
+    if len(boxes) != len(scores):
+        raise ValueError("boxes and scores must have equal length")
+    if not 0.0 <= iou_threshold <= 1.0:
+        raise ValueError("iou_threshold must be in [0, 1]")
+    order = np.argsort(np.asarray(scores, dtype=np.float64))[::-1]
+    kept: List[int] = []
+    suppressed = np.zeros(len(boxes), dtype=bool)
+    for idx in order:
+        if suppressed[idx]:
+            continue
+        kept.append(int(idx))
+        for other in order:
+            if other == idx or suppressed[other]:
+                continue
+            if box_iou(boxes[idx], boxes[other]) >= iou_threshold:
+                suppressed[other] = True
+    return kept

@@ -1,0 +1,181 @@
+"""Window scanning and task-conditioned detection.
+
+Both model configurations plug in through one adapter,
+:func:`predict_windows`, which normalizes the float ViT
+(:class:`repro.nn.VisionTransformer`) and the integer one
+(:class:`repro.quant.QuantizedVisionTransformer`) to the same output
+contract: softmaxed class probabilities and per-family attribute
+distributions as plain numpy arrays.
+
+:class:`TaskDetector` then scans a scene's windows, computes
+
+    score(window) = P(object) · kg_match(attribute distributions)
+
+and emits :class:`Detection` records above threshold, after NMS.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.data.datasets import background_class_id
+from repro.data.scenes import Scene
+from repro.detect.boxes import nms
+from repro.kg.matcher import GraphMatcher
+from repro.nn import VisionTransformer
+from repro.quant.vit import QuantizedVisionTransformer
+from repro.tensor import Tensor, no_grad
+
+ModelLike = Union[VisionTransformer, QuantizedVisionTransformer]
+
+
+def _softmax_np(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    shifted = x - x.max(axis=axis, keepdims=True)
+    e = np.exp(shifted)
+    return e / e.sum(axis=axis, keepdims=True)
+
+
+def predict_windows(model: ModelLike, windows: np.ndarray,
+                    batch_size: int = 64) -> Dict[str, np.ndarray]:
+    """Run a model configuration over ``(N, 3, S, S)`` windows.
+
+    Returns ``{"class_probs": (N, C), "attribute_probs": {family: (N, V)}}``.
+    """
+    class_chunks: List[np.ndarray] = []
+    attr_chunks: Dict[str, List[np.ndarray]] = {}
+    task_chunks: List[np.ndarray] = []
+    for start in range(0, windows.shape[0], batch_size):
+        chunk = np.asarray(windows[start:start + batch_size], dtype=np.float32)
+        if isinstance(model, QuantizedVisionTransformer):
+            out = model(chunk)
+            class_logits = out["class_logits"]
+            attrs = out["attributes"]
+            task_logits = out.get("task_logits")
+        else:
+            with no_grad():
+                out = model(Tensor(chunk))
+            class_logits = out["class_logits"].data
+            attrs = {k: v.data for k, v in out["attributes"].items()}
+            task_logits = out["task_logits"].data if "task_logits" in out else None
+        class_chunks.append(_softmax_np(class_logits))
+        for family, logits in attrs.items():
+            attr_chunks.setdefault(family, []).append(_softmax_np(logits))
+        if task_logits is not None:
+            task_chunks.append(_softmax_np(task_logits))
+    result: Dict[str, np.ndarray] = {
+        "class_probs": np.concatenate(class_chunks, axis=0),
+        "attribute_probs": {
+            family: np.concatenate(parts, axis=0)
+            for family, parts in attr_chunks.items()
+        },
+    }
+    if task_chunks:
+        # probability the window is relevant to the specialist's task
+        result["task_probs"] = np.concatenate(task_chunks, axis=0)[:, 1]
+    return result
+
+
+@dataclasses.dataclass
+class Detection:
+    """One task-relevant detection in a scene."""
+
+    bbox: Tuple[int, int, int, int]
+    score: float
+    objectness: float
+    task_score: float
+    class_id: int
+    attribute_probs: Dict[str, np.ndarray]
+
+    def __repr__(self) -> str:
+        return (
+            f"Detection(bbox={self.bbox}, score={self.score:.3f}, "
+            f"class={self.class_id})"
+        )
+
+
+class TaskDetector:
+    """Task-oriented detector: model configuration + KG matcher.
+
+    Parameters
+    ----------
+    model:
+        Either model configuration (float distilled ViT or quantized ViT).
+    matcher:
+        Knowledge-graph matcher for the active task; ``None`` degrades to
+        plain object detection (objectness only) — the data-only baseline.
+    score_threshold:
+        Minimum combined score to emit a detection.
+    nms_iou:
+        IoU threshold for the final NMS pass (grid windows never overlap,
+        but sliding-window mode produces duplicates).
+    """
+
+    def __init__(
+        self,
+        model: ModelLike,
+        matcher: Optional[GraphMatcher] = None,
+        score_threshold: float = 0.35,
+        nms_iou: float = 0.5,
+        batch_size: int = 64,
+    ) -> None:
+        if not 0.0 <= score_threshold <= 1.0:
+            raise ValueError("score_threshold must be in [0, 1]")
+        self.model = model
+        self.matcher = matcher
+        self.score_threshold = score_threshold
+        self.nms_iou = nms_iou
+        self.batch_size = batch_size
+
+    # ------------------------------------------------------------------
+    def _windows(self, scene: Scene,
+                 stride: Optional[int] = None) -> Tuple[np.ndarray, List[Tuple[int, int, int, int]]]:
+        size = scene.cell_size
+        stride = stride or size
+        boxes: List[Tuple[int, int, int, int]] = []
+        crops: List[np.ndarray] = []
+        limit = scene.size - size
+        for y0 in range(0, limit + 1, stride):
+            for x0 in range(0, limit + 1, stride):
+                bbox = (x0, y0, x0 + size, y0 + size)
+                boxes.append(bbox)
+                crops.append(scene.crop(bbox))
+        return np.stack(crops), boxes
+
+    def detect(self, scene: Scene, stride: Optional[int] = None) -> List[Detection]:
+        windows, boxes = self._windows(scene, stride=stride)
+        predictions = predict_windows(self.model, windows, batch_size=self.batch_size)
+        class_probs = predictions["class_probs"]
+        attribute_probs = predictions["attribute_probs"]
+
+        objectness = 1.0 - class_probs[:, background_class_id()]
+        if "task_probs" in predictions:
+            # Task-specific configuration: the distilled task head IS the
+            # knowledge graph's decision, baked into the specialist.
+            task_scores = predictions["task_probs"]
+        elif self.matcher is not None:
+            task_scores = self.matcher.match_distributions(attribute_probs).score
+        else:
+            task_scores = np.ones_like(objectness)
+        combined = objectness * task_scores
+
+        candidates = [
+            Detection(
+                bbox=boxes[i],
+                score=float(combined[i]),
+                objectness=float(objectness[i]),
+                task_score=float(task_scores[i]),
+                class_id=int(class_probs[i].argmax()),
+                attribute_probs={
+                    family: probs[i] for family, probs in attribute_probs.items()
+                },
+            )
+            for i in np.flatnonzero(combined >= self.score_threshold)
+        ]
+        if not candidates:
+            return []
+        keep = nms([d.bbox for d in candidates], [d.score for d in candidates],
+                   iou_threshold=self.nms_iou)
+        return [candidates[i] for i in keep]

@@ -1,0 +1,25 @@
+"""Knowledge distillation: teacher → task-specific student.
+
+The paper's *task-specific configuration* is a compact ViT distilled from
+a large teacher on one mission's data distribution.  This package
+provides:
+
+:class:`ModelTrainer`
+    supervised training of a ViT on a :class:`~repro.data.WindowDataset`
+    (class + masked attribute + objectness-style losses) — used for the
+    teacher and for the from-scratch baselines.
+:class:`Distiller`
+    the distillation loop: soft-target KL, feature-hint regression, and
+    optional attention transfer.
+"""
+
+from repro.distill.trainer import TrainingConfig, ModelTrainer, evaluate_model
+from repro.distill.distiller import DistillationConfig, Distiller
+
+__all__ = [
+    "TrainingConfig",
+    "ModelTrainer",
+    "evaluate_model",
+    "DistillationConfig",
+    "Distiller",
+]

@@ -1,0 +1,77 @@
+"""First-order silicon area model for the accelerator.
+
+DAC-style evaluations report area alongside latency/energy.  This model
+composes the standard back-of-envelope terms — per-PE MAC area, SRAM
+macro density, vector-lane area, and a fixed controller/NoC overhead —
+at a configurable technology node with classical area scaling.  Absolute
+mm² are indicative; the purpose is comparing accelerator configurations
+(the E7 array-size sweep) on an area-latency-energy Pareto.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict
+
+from repro.hw.config import AcceleratorConfig
+
+# Reference constants at 28 nm (typical published figures).
+_REFERENCE_NODE_NM = 28.0
+_PE_AREA_UM2 = 450.0          # one int8 MAC PE incl. pipeline registers
+_SRAM_UM2_PER_BYTE = 1.1      # single-port SRAM macro density
+_VECTOR_LANE_UM2 = 2_500.0    # one fp/int vector lane with LUT share
+_CONTROLLER_MM2 = 0.08        # sequencer, DMA engines, NoC, config regs
+
+
+@dataclasses.dataclass(frozen=True)
+class AreaReport:
+    """Area breakdown in mm²."""
+
+    node_nm: float
+    array_mm2: float
+    sram_mm2: float
+    vector_mm2: float
+    controller_mm2: float
+
+    @property
+    def total_mm2(self) -> float:
+        return (self.array_mm2 + self.sram_mm2 + self.vector_mm2
+                + self.controller_mm2)
+
+    def breakdown(self) -> Dict[str, float]:
+        return {
+            "array": self.array_mm2,
+            "sram": self.sram_mm2,
+            "vector": self.vector_mm2,
+            "controller": self.controller_mm2,
+            "total": self.total_mm2,
+        }
+
+    def summary(self) -> str:
+        lines = [f"area @ {self.node_nm:.0f} nm: {self.total_mm2:.3f} mm²"]
+        for name, mm2 in self.breakdown().items():
+            if name != "total":
+                lines.append(f"  {name:<10} {mm2:.3f} mm²")
+        return "\n".join(lines)
+
+
+def node_scale(node_nm: float) -> float:
+    """Classical area scaling factor relative to the 28 nm reference."""
+    if node_nm <= 0:
+        raise ValueError("technology node must be positive")
+    return (node_nm / _REFERENCE_NODE_NM) ** 2
+
+
+def estimate_area(config: AcceleratorConfig, node_nm: float = 28.0) -> AreaReport:
+    """Estimate the accelerator's silicon area."""
+    scale = node_scale(node_nm)
+    pe_count = config.array_rows * config.array_cols
+    sram_bytes = (config.weight_sram_kib + config.act_sram_kib
+                  + config.accum_sram_kib) * 1024
+    return AreaReport(
+        node_nm=node_nm,
+        array_mm2=pe_count * _PE_AREA_UM2 * scale / 1e6,
+        sram_mm2=sram_bytes * _SRAM_UM2_PER_BYTE * scale / 1e6,
+        vector_mm2=config.vector_lanes * _VECTOR_LANE_UM2 * scale / 1e6,
+        controller_mm2=_CONTROLLER_MM2 * scale,
+    )

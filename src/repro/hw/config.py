@@ -1,0 +1,93 @@
+"""Accelerator microarchitecture configuration and energy tables.
+
+Energy numbers are per-action constants in picojoules, drawn from the
+standard 28/22 nm literature values used by DAC-style evaluations
+(int8 MAC ≈ 0.1–0.3 pJ, SRAM access ≈ 1–2 pJ/byte, DRAM ≈ 20–60 pJ/byte).
+Absolute joules are not the reproduction target — the accelerator/GPU
+*ratios* are — but keeping the constants physically plausible keeps the
+ratios honest.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+
+@dataclasses.dataclass(frozen=True)
+class EnergyTable:
+    """Per-action energy constants (picojoules)."""
+
+    mac_int8_pj: float = 0.2          # one int8×int8+int32 MAC
+    mac_scale_per_bit: float = 0.125  # MAC energy scales ~linearly with operand bits
+    sram_read_pj_per_byte: float = 1.2
+    sram_write_pj_per_byte: float = 1.5
+    dram_pj_per_byte: float = 40.0
+    vector_op_pj: float = 1.0         # one vector-lane elementary operation
+    static_mw: float = 45.0           # leakage + clock tree for the whole core
+
+    def mac_pj(self, weight_bits: int, act_bits: int) -> float:
+        """MAC energy scaled by operand widths (8b/8b is the reference)."""
+        width_factor = (weight_bits + act_bits) / 16.0
+        return self.mac_int8_pj * max(width_factor, 0.25)
+
+
+@dataclasses.dataclass(frozen=True)
+class AcceleratorConfig:
+    """The iTask edge accelerator."""
+
+    name: str = "itask-edge"
+    array_rows: int = 16              # K dimension of the weight-stationary tile
+    array_cols: int = 16              # N dimension
+    clock_mhz: float = 500.0
+    weight_sram_kib: int = 512
+    act_sram_kib: int = 256
+    accum_sram_kib: int = 64
+    dram_gbps: float = 8.0            # LPDDR4-class single channel
+    dram_latency_cycles: int = 60
+    vector_lanes: int = 32
+    weight_load_cycles_per_tile: int = 4   # double-buffered weight swap overhead
+    energy: EnergyTable = EnergyTable()
+
+    def __post_init__(self) -> None:
+        if self.array_rows <= 0 or self.array_cols <= 0:
+            raise ValueError("array dimensions must be positive")
+        if self.clock_mhz <= 0 or self.dram_gbps <= 0:
+            raise ValueError("clock and bandwidth must be positive")
+
+    @property
+    def clock_hz(self) -> float:
+        return self.clock_mhz * 1e6
+
+    @property
+    def peak_macs_per_cycle(self) -> int:
+        return self.array_rows * self.array_cols
+
+    @property
+    def peak_int8_tops(self) -> float:
+        """Peak int8 throughput in tera-ops (2 ops per MAC)."""
+        return 2.0 * self.peak_macs_per_cycle * self.clock_hz / 1e12
+
+    @property
+    def dram_bytes_per_cycle(self) -> float:
+        return self.dram_gbps * 1e9 / self.clock_hz
+
+    def cycles_to_seconds(self, cycles: float) -> float:
+        return cycles / self.clock_hz
+
+    @staticmethod
+    def edge_default() -> "AcceleratorConfig":
+        """The configuration used throughout the paper reproduction."""
+        return AcceleratorConfig()
+
+    @staticmethod
+    def small() -> "AcceleratorConfig":
+        """Area-constrained variant (ablation: array-size sweep)."""
+        return AcceleratorConfig(name="itask-edge-small", array_rows=8,
+                                 array_cols=8, weight_sram_kib=256,
+                                 act_sram_kib=128)
+
+    @staticmethod
+    def large() -> "AcceleratorConfig":
+        return AcceleratorConfig(name="itask-edge-large", array_rows=32,
+                                 array_cols=32, weight_sram_kib=1024,
+                                 act_sram_kib=512)

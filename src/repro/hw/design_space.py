@@ -1,0 +1,89 @@
+"""Design-space exploration: the accelerator's area/latency/energy Pareto.
+
+Sweeps array geometry, clock, and SRAM provisioning for a fixed workload
+(a compiled quantized ViT) and extracts the Pareto-optimal points — the
+analysis a DAC paper runs to justify its chosen configuration.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.hw.area import estimate_area
+from repro.hw.compiler import Compiler
+from repro.hw.config import AcceleratorConfig
+from repro.hw.simulator import Simulator
+from repro.quant.vit import QuantizedVisionTransformer
+
+
+@dataclasses.dataclass(frozen=True)
+class DesignPoint:
+    """One evaluated configuration."""
+
+    config: AcceleratorConfig
+    latency_ms: float
+    energy_uj: float
+    area_mm2: float
+    utilization: float
+
+    def dominates(self, other: "DesignPoint") -> bool:
+        """Pareto dominance on (latency, energy, area): no worse on all,
+        strictly better on at least one."""
+        no_worse = (
+            self.latency_ms <= other.latency_ms
+            and self.energy_uj <= other.energy_uj
+            and self.area_mm2 <= other.area_mm2
+        )
+        strictly_better = (
+            self.latency_ms < other.latency_ms
+            or self.energy_uj < other.energy_uj
+            or self.area_mm2 < other.area_mm2
+        )
+        return no_worse and strictly_better
+
+    def as_row(self) -> Dict[str, object]:
+        return {
+            "array": f"{self.config.array_rows}x{self.config.array_cols}",
+            "clock_mhz": self.config.clock_mhz,
+            "latency_ms": self.latency_ms,
+            "energy_uj": self.energy_uj,
+            "area_mm2": self.area_mm2,
+            "util_pct": self.utilization * 100.0,
+        }
+
+
+def sweep(
+    model: QuantizedVisionTransformer,
+    array_sizes: Sequence[Tuple[int, int]] = ((8, 8), (16, 16), (24, 24), (32, 32)),
+    clocks_mhz: Sequence[float] = (250.0, 500.0, 800.0),
+    batch: int = 1,
+    node_nm: float = 28.0,
+) -> List[DesignPoint]:
+    """Evaluate every configuration in the grid."""
+    points: List[DesignPoint] = []
+    for (rows, cols), clock in itertools.product(array_sizes, clocks_mhz):
+        config = AcceleratorConfig(
+            name=f"dse-{rows}x{cols}@{clock:.0f}",
+            array_rows=rows, array_cols=cols, clock_mhz=clock,
+        )
+        program = Compiler(config).compile(model, batch=batch)
+        report = Simulator(config).simulate(program)
+        points.append(DesignPoint(
+            config=config,
+            latency_ms=report.latency_ms,
+            energy_uj=report.energy_per_inference_j * 1e6,
+            area_mm2=estimate_area(config, node_nm=node_nm).total_mm2,
+            utilization=report.array_utilization,
+        ))
+    return points
+
+
+def pareto_front(points: Sequence[DesignPoint]) -> List[DesignPoint]:
+    """Non-dominated subset, sorted by latency."""
+    front = [
+        p for p in points
+        if not any(q.dominates(p) for q in points)
+    ]
+    return sorted(front, key=lambda p: p.latency_ms)

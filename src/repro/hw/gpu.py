@@ -1,0 +1,160 @@
+"""Edge-GPU baseline: a calibrated roofline latency/energy model.
+
+The paper compares its accelerator against a "GPU-based implementation".
+We model an embedded (Jetson-class) GPU executing the same ViT program:
+
+* every GEMM becomes a kernel whose time is the roofline maximum of
+  compute time (peak throughput × an occupancy factor that penalizes the
+  tiny batch-1 GEMMs a 32×32-window ViT produces) and memory time;
+* vector ops are partially fused into neighbouring kernels
+  (``fusion_factor``); the rest pay a launch each;
+* every kernel pays ``kernel_launch_us`` of host-side launch latency —
+  the dominant cost for sub-millisecond edge inference, and the reason a
+  dedicated accelerator wins at batch 1;
+* energy = busy power × latency (+ idle power when duty-cycled).
+
+Constants default to a Jetson-Nano-class part.  They are calibration
+inputs, not measurements — EXPERIMENTS.md discusses sensitivity.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List
+
+from repro.hw.isa import DmaOp, GemmOp, Program, VectorOp
+
+
+@dataclasses.dataclass(frozen=True)
+class GPUConfig:
+    """Embedded GPU platform parameters."""
+
+    name: str = "edge-gpu"
+    peak_fp16_tflops: float = 1.0
+    dram_gbps: float = 25.6
+    kernel_launch_us: float = 3.0
+    occupancy_saturation_macs: float = 4.0e6  # GEMM size giving ~50 % occupancy
+    min_occupancy: float = 0.02
+    vector_gelems_per_s: float = 20.0         # elementwise throughput
+    fusion_factor: float = 0.5                # fraction of vector ops fused away
+    idle_w: float = 2.0
+    busy_w: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.peak_fp16_tflops <= 0 or self.dram_gbps <= 0:
+            raise ValueError("throughput parameters must be positive")
+        if not 0.0 <= self.fusion_factor <= 1.0:
+            raise ValueError("fusion_factor must be in [0, 1]")
+
+    @staticmethod
+    def jetson_class() -> "GPUConfig":
+        return GPUConfig()
+
+    @staticmethod
+    def fast_host() -> "GPUConfig":
+        """Optimistic baseline: CUDA-graph launches, better fusion."""
+        return GPUConfig(name="edge-gpu-graphs", kernel_launch_us=1.0,
+                         fusion_factor=0.8)
+
+
+@dataclasses.dataclass
+class GPUReport:
+    """GPU simulation result (mirrors the accelerator's PerfReport)."""
+
+    config_name: str
+    program_name: str
+    batch: int
+    latency_s: float
+    energy_j: float
+    kernel_count: int
+    time_breakdown_s: Dict[str, float]
+
+    @property
+    def latency_ms(self) -> float:
+        return self.latency_s * 1e3
+
+    @property
+    def throughput_inferences_per_s(self) -> float:
+        return self.batch / self.latency_s
+
+    @property
+    def energy_per_inference_j(self) -> float:
+        return self.energy_j / self.batch
+
+    def summary(self) -> str:
+        lines = [
+            f"{self.program_name} on {self.config_name} (batch={self.batch})",
+            f"  latency    : {self.latency_ms:.3f} ms ({self.kernel_count} kernels)",
+            f"  throughput : {self.throughput_inferences_per_s:.1f} inf/s",
+            f"  energy     : {self.energy_per_inference_j * 1e3:.3f} mJ/inference",
+        ]
+        for component, seconds in sorted(self.time_breakdown_s.items()):
+            lines.append(f"  t[{component:<7}] : {seconds * 1e3:.3f} ms")
+        return "\n".join(lines)
+
+
+class GPUModel:
+    """Run an accelerator :class:`Program`'s workload through the GPU model.
+
+    The program is used purely as a shape container — the GPU executes
+    the float (fp16) network, so weight/act bit widths are ignored and
+    operand bytes are recomputed at 2 bytes/element.
+    """
+
+    def __init__(self, config: GPUConfig = GPUConfig()) -> None:
+        self.config = config
+
+    # ------------------------------------------------------------------
+    def _occupancy(self, macs: int) -> float:
+        cfg = self.config
+        frac = macs / (macs + cfg.occupancy_saturation_macs)
+        return max(cfg.min_occupancy, 2.0 * frac * 0.5)  # saturates toward 1
+
+    def _gemm_time(self, op: GemmOp) -> float:
+        cfg = self.config
+        flops = 2.0 * op.macs
+        compute = flops / (cfg.peak_fp16_tflops * 1e12 * self._occupancy(op.macs))
+        fp16_bytes = 2 * (op.m * op.k + op.k * op.n + op.m * op.n)
+        memory = fp16_bytes / (cfg.dram_gbps * 1e9)
+        return max(compute, memory)
+
+    def _vector_time(self, op: VectorOp) -> float:
+        return op.elements * op.passes / (self.config.vector_gelems_per_s * 1e9)
+
+    def _dma_time(self, op: DmaOp) -> float:
+        return op.num_bytes / (self.config.dram_gbps * 1e9)
+
+    # ------------------------------------------------------------------
+    def simulate(self, program: Program) -> GPUReport:
+        cfg = self.config
+        launch = cfg.kernel_launch_us * 1e-6
+        compute_s = 0.0
+        memory_s = 0.0
+        kernels = 0.0
+        for op in program:
+            if isinstance(op, GemmOp):
+                compute_s += self._gemm_time(op)
+                kernels += 1.0
+            elif isinstance(op, VectorOp):
+                compute_s += self._vector_time(op)
+                # A fraction of elementwise ops fuse into a neighbouring
+                # kernel's epilogue and pay no launch of their own.
+                kernels += 1.0 - cfg.fusion_factor
+            else:
+                memory_s += self._dma_time(op)
+        launch_s = kernels * launch
+        latency = compute_s + launch_s + memory_s
+        energy = cfg.busy_w * latency
+        return GPUReport(
+            config_name=cfg.name,
+            program_name=program.name,
+            batch=program.batch,
+            latency_s=latency,
+            energy_j=energy,
+            kernel_count=int(round(kernels)),
+            time_breakdown_s={
+                "compute": compute_s,
+                "launch": launch_s,
+                "memory": memory_s,
+            },
+        )

@@ -1,0 +1,154 @@
+"""Accelerator operation set and program container.
+
+The compiler lowers a quantized ViT into a linear *program* of three
+operation kinds:
+
+* :class:`GemmOp` — an (M×K)·(K×N) integer matrix multiply on the
+  systolic array;
+* :class:`VectorOp` — an elementwise/reduction pass on the vector unit
+  (LayerNorm, softmax, GELU LUT, residual add, requantization);
+* :class:`DmaOp` — a DRAM↔SRAM transfer.
+
+Ops carry only *shapes*; the simulator derives timing and energy, and the
+functional path executes real integer arithmetic through the same
+quantized kernels the CPU reference uses.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Dict, Iterator, List, Optional, Union
+
+
+class VectorKind(enum.Enum):
+    LAYERNORM = "layernorm"
+    SOFTMAX = "softmax"
+    GELU = "gelu"
+    ADD = "add"
+    QUANTIZE = "quantize"
+    DEQUANTIZE = "dequantize"
+
+
+class DmaDirection(enum.Enum):
+    LOAD = "load"     # DRAM -> SRAM
+    STORE = "store"   # SRAM -> DRAM
+
+
+@dataclasses.dataclass(frozen=True)
+class GemmOp:
+    """Integer GEMM: activations (M, K) × weights (K, N) → (M, N)."""
+
+    name: str
+    m: int
+    k: int
+    n: int
+    weight_bits: int = 8
+    act_bits: int = 8
+    site: Optional[str] = None   # which QuantizedLinear realizes this GEMM
+
+    def __post_init__(self) -> None:
+        if min(self.m, self.k, self.n) <= 0:
+            raise ValueError(f"GEMM {self.name!r} has non-positive dims")
+
+    @property
+    def macs(self) -> int:
+        return self.m * self.k * self.n
+
+    @property
+    def act_bytes(self) -> int:
+        return self.m * self.k * self.act_bits // 8
+
+    @property
+    def weight_bytes(self) -> int:
+        return self.k * self.n * self.weight_bits // 8
+
+    @property
+    def out_bytes(self) -> int:
+        return self.m * self.n * 4  # int32 accumulators
+
+
+@dataclasses.dataclass(frozen=True)
+class VectorOp:
+    """Vector-unit pass over ``elements`` scalars."""
+
+    name: str
+    kind: VectorKind
+    elements: int
+    # Relative cost: passes over the data the op needs (softmax reads the
+    # data for max, exp, and normalize → 3; layernorm similar).
+    passes: int = 1
+
+    def __post_init__(self) -> None:
+        if self.elements <= 0:
+            raise ValueError(f"vector op {self.name!r} with no elements")
+        if self.passes <= 0:
+            raise ValueError("passes must be positive")
+
+
+@dataclasses.dataclass(frozen=True)
+class DmaOp:
+    """DRAM transfer of ``num_bytes``."""
+
+    name: str
+    direction: DmaDirection
+    num_bytes: int
+
+    def __post_init__(self) -> None:
+        if self.num_bytes <= 0:
+            raise ValueError(f"DMA op {self.name!r} with no payload")
+
+
+Operation = Union[GemmOp, VectorOp, DmaOp]
+
+
+@dataclasses.dataclass
+class Program:
+    """An ordered operation list plus workload metadata."""
+
+    name: str
+    ops: List[Operation] = dataclasses.field(default_factory=list)
+    batch: int = 1
+
+    def append(self, op: Operation) -> None:
+        self.ops.append(op)
+
+    def __iter__(self) -> Iterator[Operation]:
+        return iter(self.ops)
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    # ------------------------------------------------------------------
+    # aggregate statistics
+    # ------------------------------------------------------------------
+    def total_macs(self) -> int:
+        return sum(op.macs for op in self.ops if isinstance(op, GemmOp))
+
+    def total_vector_elements(self) -> int:
+        return sum(op.elements * op.passes for op in self.ops
+                   if isinstance(op, VectorOp))
+
+    def total_dma_bytes(self) -> int:
+        return sum(op.num_bytes for op in self.ops if isinstance(op, DmaOp))
+
+    def counts(self) -> Dict[str, int]:
+        out = {"gemm": 0, "vector": 0, "dma": 0}
+        for op in self.ops:
+            if isinstance(op, GemmOp):
+                out["gemm"] += 1
+            elif isinstance(op, VectorOp):
+                out["vector"] += 1
+            else:
+                out["dma"] += 1
+        return out
+
+    def summary(self) -> str:
+        counts = self.counts()
+        return (
+            f"Program({self.name}: {counts['gemm']} GEMMs "
+            f"[{self.total_macs() / 1e6:.2f} MMACs], "
+            f"{counts['vector']} vector ops "
+            f"[{self.total_vector_elements() / 1e3:.1f} Kelem], "
+            f"{counts['dma']} DMAs [{self.total_dma_bytes() / 1024:.1f} KiB])"
+        )

@@ -1,0 +1,51 @@
+"""Knowledge-graph machinery: the paper's core contribution.
+
+iTask converts a natural-language mission description into an *abstract
+knowledge graph* whose nodes are high-level attribute concepts and whose
+edges encode what the task requires, prefers, or excludes.  Detection is
+then a matter of matching each candidate object's predicted attribute
+profile against the graph — no task-specific retraining needed, and a
+handful of support examples suffice to refine the graph.
+
+Components
+----------
+:class:`KnowledgeGraph`
+    typed wrapper over a networkx digraph with REQUIRES / PREFERS /
+    EXCLUDES constraint edges.
+:class:`SimulatedLLM`
+    deterministic stand-in for the paper's LLM: parses mission text into a
+    graph, with controllable omission/hallucination noise for robustness
+    studies.
+:class:`GraphMatcher`
+    scores predicted attribute distributions against a task graph.
+:func:`refine_with_examples`
+    few-shot graph refinement from support windows.
+"""
+
+from repro.kg.schema import (
+    ConstraintKind,
+    Constraint,
+    KnowledgeGraph,
+)
+from repro.kg.llm import SimulatedLLM, LLMNoiseConfig
+from repro.kg.matcher import GraphMatcher, MatchResult
+from repro.kg.refinement import refine_with_examples, evidence_from_profiles
+from repro.kg.embedding import graph_feature_vector, task_similarity, spectral_signature
+from repro.kg.visualize import render_ascii, render_dot
+
+__all__ = [
+    "ConstraintKind",
+    "Constraint",
+    "KnowledgeGraph",
+    "SimulatedLLM",
+    "LLMNoiseConfig",
+    "GraphMatcher",
+    "MatchResult",
+    "refine_with_examples",
+    "evidence_from_profiles",
+    "graph_feature_vector",
+    "task_similarity",
+    "spectral_signature",
+    "render_ascii",
+    "render_dot",
+]

@@ -1,0 +1,80 @@
+"""Graph embeddings and task similarity.
+
+The configuration selector (:mod:`repro.core.selector`) needs to decide
+whether an incoming mission is "close enough" to a task it has a distilled
+specialist model for.  Two complementary signals:
+
+* :func:`graph_feature_vector` — a dense vector over all (family, value)
+  pairs with signed constraint weights; cosine similarity between two
+  graphs measures semantic overlap of their constraints.
+* :func:`spectral_signature` — the leading Laplacian eigenvalues of the
+  graph structure, a coarse shape descriptor that is invariant to value
+  renaming (used only as a tiebreaker / diagnostic).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import networkx as nx
+import numpy as np
+
+from repro.data.ontology import ATTRIBUTE_FAMILIES
+from repro.kg.schema import ConstraintKind, KnowledgeGraph
+
+_PAIR_INDEX: Dict[Tuple[str, str], int] = {}
+for _family, _values in ATTRIBUTE_FAMILIES.items():
+    for _value in _values:
+        _PAIR_INDEX[(_family, _value)] = len(_PAIR_INDEX)
+
+FEATURE_DIM = len(_PAIR_INDEX)
+
+
+def graph_feature_vector(kg: KnowledgeGraph) -> np.ndarray:
+    """Embed a graph as a signed weight vector over (family, value) pairs.
+
+    REQUIRES mass is positive, EXCLUDES negative, PREFERS half-positive.
+    Within a REQUIRES constraint the weight is split across its allowed
+    values so that a narrow constraint (one value) is a stronger feature
+    than a broad one.
+    """
+    vec = np.zeros(FEATURE_DIM, dtype=np.float64)
+    for constraint in kg.constraints:
+        share = constraint.weight / len(constraint.values)
+        for value in constraint.values:
+            idx = _PAIR_INDEX[(constraint.family, value)]
+            if constraint.kind == ConstraintKind.REQUIRES:
+                vec[idx] += share
+            elif constraint.kind == ConstraintKind.EXCLUDES:
+                vec[idx] -= share
+            else:
+                vec[idx] += 0.5 * share
+    return vec
+
+
+def task_similarity(kg_a: KnowledgeGraph, kg_b: KnowledgeGraph) -> float:
+    """Cosine similarity of two graphs' feature vectors, in [-1, 1].
+
+    Two graphs with no constraints at all are considered identical (1.0);
+    one empty and one non-empty graph score 0.
+    """
+    va, vb = graph_feature_vector(kg_a), graph_feature_vector(kg_b)
+    na, nb = np.linalg.norm(va), np.linalg.norm(vb)
+    if na == 0.0 and nb == 0.0:
+        return 1.0
+    if na == 0.0 or nb == 0.0:
+        return 0.0
+    return float(np.dot(va, vb) / (na * nb))
+
+
+def spectral_signature(kg: KnowledgeGraph, k: int = 6) -> np.ndarray:
+    """Leading eigenvalues of the undirected Laplacian, zero-padded to k."""
+    undirected = kg.graph.to_undirected()
+    if undirected.number_of_nodes() == 0:
+        return np.zeros(k)
+    laplacian = nx.laplacian_matrix(undirected).toarray().astype(np.float64)
+    eigenvalues = np.sort(np.linalg.eigvalsh(laplacian))[::-1]
+    out = np.zeros(k)
+    take = min(k, eigenvalues.size)
+    out[:take] = eigenvalues[:take]
+    return out

@@ -1,0 +1,179 @@
+"""Simulated LLM: mission text → knowledge graph.
+
+The paper prompts a large language model to distill a mission description
+into an abstract attribute graph.  Offline we replace the LLM with a
+deterministic extractor that performs the same job the prompt asks for:
+
+1. split the mission text into clauses,
+2. classify each clause as *positive*, *negated* ("ignore …", "do not
+   report …") or *hedged* ("typically …", "usually …"),
+3. collect attribute-vocabulary mentions per clause, and
+4. emit REQUIRES / EXCLUDES / PREFERS constraints accordingly.
+
+A noise model (:class:`LLMNoiseConfig`) injects the two failure modes a
+real LLM exhibits — *omitting* a constraint and *hallucinating* one — so
+the robustness ablation (experiment E8) can sweep extraction quality.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.data.ontology import ATTRIBUTE_FAMILIES
+from repro.kg.schema import Constraint, ConstraintKind, KnowledgeGraph
+
+_NEGATION_MARKERS = (
+    "ignore", "do not", "don't", "never", "exclude", "avoid", "not report",
+    "skip", "disregard",
+)
+_HEDGE_MARKERS = (
+    "usually", "typically", "often", "sometimes", "mostly", "generally",
+    "tend to", "likely",
+)
+
+# value -> family reverse index; vocabularies are disjoint across families.
+_VALUE_TO_FAMILY: Dict[str, str] = {
+    value: family
+    for family, values in ATTRIBUTE_FAMILIES.items()
+    for value in values
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class LLMNoiseConfig:
+    """Extraction-failure model.
+
+    ``omission_rate``: probability each extracted constraint is dropped.
+    ``hallucination_rate``: probability a spurious constraint on an
+    unconstrained family is added.
+    ``weight_jitter``: multiplicative jitter on constraint weights.
+    """
+
+    omission_rate: float = 0.0
+    hallucination_rate: float = 0.0
+    weight_jitter: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        for name in ("omission_rate", "hallucination_rate", "weight_jitter"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+
+
+class SimulatedLLM:
+    """Deterministic mission-text → :class:`KnowledgeGraph` generator."""
+
+    def __init__(self, noise: Optional[LLMNoiseConfig] = None) -> None:
+        self.noise = noise or LLMNoiseConfig()
+        self._rng = np.random.default_rng(self.noise.seed)
+
+    # ------------------------------------------------------------------
+    # clause handling
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _clauses(text: str) -> List[str]:
+        """Split on sentence/clause boundaries (., ;, :)."""
+        parts = re.split(r"[.;:]", text.lower())
+        return [p.strip() for p in parts if p.strip()]
+
+    @staticmethod
+    def _classify_clause(clause: str) -> str:
+        if any(marker in clause for marker in _NEGATION_MARKERS):
+            return "negated"
+        if any(marker in clause for marker in _HEDGE_MARKERS):
+            return "hedged"
+        return "positive"
+
+    @staticmethod
+    def _mentions(clause: str) -> Dict[str, Set[str]]:
+        """Attribute-vocabulary words in the clause, grouped by family."""
+        tokens = re.findall(r"[a-z]+", clause)
+        found: Dict[str, Set[str]] = {}
+        for token in tokens:
+            family = _VALUE_TO_FAMILY.get(token)
+            if family is not None:
+                found.setdefault(family, set()).add(token)
+        return found
+
+    # ------------------------------------------------------------------
+    # main entry point
+    # ------------------------------------------------------------------
+    def generate(self, task_name: str, mission_text: str) -> KnowledgeGraph:
+        """Produce the task knowledge graph for ``mission_text``."""
+        kg = KnowledgeGraph(task_name, mission_text)
+        positive: Dict[str, Set[str]] = {}
+        negated: Dict[str, Set[str]] = {}
+        hedged: Dict[str, Set[str]] = {}
+        buckets = {"positive": positive, "negated": negated, "hedged": hedged}
+
+        for clause in self._clauses(mission_text):
+            kind = self._classify_clause(clause)
+            for family, values in self._mentions(clause).items():
+                buckets[kind].setdefault(family, set()).update(values)
+
+        constraints: List[Constraint] = []
+        for family, values in positive.items():
+            constraints.append(
+                Constraint(ConstraintKind.REQUIRES, family, frozenset(values), 1.0)
+            )
+        for family, values in negated.items():
+            constraints.append(
+                Constraint(ConstraintKind.EXCLUDES, family, frozenset(values), 1.0)
+            )
+        for family, values in hedged.items():
+            # A hedge on an already-required family is redundant; elsewhere
+            # it becomes a soft preference.
+            if family not in positive:
+                constraints.append(
+                    Constraint(ConstraintKind.PREFERS, family, frozenset(values), 0.5)
+                )
+
+        for constraint in self._apply_noise(constraints):
+            kg.add_constraint(constraint)
+        return kg
+
+    def generate_for_task(self, task) -> KnowledgeGraph:
+        """Convenience: accept a :class:`~repro.data.tasks.TaskDefinition`."""
+        return self.generate(task.name, task.mission_text)
+
+    # ------------------------------------------------------------------
+    # noise model
+    # ------------------------------------------------------------------
+    def _apply_noise(self, constraints: List[Constraint]) -> List[Constraint]:
+        noise = self.noise
+        if (noise.omission_rate == 0.0 and noise.hallucination_rate == 0.0
+                and noise.weight_jitter == 0.0):
+            return constraints
+
+        result: List[Constraint] = []
+        for constraint in constraints:
+            if self._rng.random() < noise.omission_rate:
+                continue  # the "LLM" forgot this requirement
+            weight = constraint.weight
+            if noise.weight_jitter > 0.0:
+                factor = 1.0 + float(
+                    self._rng.uniform(-noise.weight_jitter, noise.weight_jitter)
+                )
+                weight = float(np.clip(weight * factor, 0.05, 1.0))
+            result.append(
+                Constraint(constraint.kind, constraint.family,
+                           constraint.values, weight)
+            )
+
+        if noise.hallucination_rate > 0.0:
+            constrained = {c.family for c in result}
+            for family, vocab in ATTRIBUTE_FAMILIES.items():
+                if family in constrained:
+                    continue
+                if self._rng.random() < noise.hallucination_rate:
+                    value = vocab[int(self._rng.integers(len(vocab)))]
+                    result.append(
+                        Constraint(ConstraintKind.REQUIRES, family,
+                                   frozenset({value}), 1.0)
+                    )
+        return result

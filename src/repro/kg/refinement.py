@@ -1,0 +1,169 @@
+"""Few-shot refinement of a task knowledge graph.
+
+The LLM-generated graph captures what the mission *text* says; the few
+support examples the operator provides capture what the mission *means*.
+Refinement reconciles the two:
+
+* a family the text never constrained, but whose positive examples
+  concentrate on a value set that separates them from the negatives,
+  gains a REQUIRES constraint (recovering LLM omissions);
+* a REQUIRES constraint contradicted by the evidence (positives routinely
+  fall outside its value set) is widened or — when the evidence is strong
+  — dropped (recovering hallucinations);
+* constraint weights are re-estimated from the evidence margin, so the
+  matcher leans hardest on the most discriminative families.
+
+This is the mechanism behind the paper's "generalize efficiently from
+limited samples" claim, and experiment E5 sweeps the number of shots.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.data.ontology import ATTRIBUTE_FAMILIES, AttributeProfile
+from repro.kg.schema import Constraint, ConstraintKind, KnowledgeGraph
+
+
+@dataclasses.dataclass
+class FamilyEvidence:
+    """Per-family value counts over support positives and negatives."""
+
+    family: str
+    positive_counts: Dict[str, int]
+    negative_counts: Dict[str, int]
+
+    @property
+    def num_positive(self) -> int:
+        return sum(self.positive_counts.values())
+
+    @property
+    def num_negative(self) -> int:
+        return sum(self.negative_counts.values())
+
+    def positive_support(self) -> frozenset:
+        """Values observed among positives."""
+        return frozenset(v for v, c in self.positive_counts.items() if c > 0)
+
+    def separation(self) -> float:
+        """How well the positive value set separates the classes.
+
+        1.0 means no negative carries a positive-supported value; 0.0
+        means the value set is useless for discrimination.
+        """
+        support = self.positive_support()
+        if not support or self.num_negative == 0:
+            return 0.0
+        negatives_inside = sum(
+            c for v, c in self.negative_counts.items() if v in support
+        )
+        return 1.0 - negatives_inside / self.num_negative
+
+
+def evidence_from_profiles(
+    positives: Sequence[AttributeProfile],
+    negatives: Sequence[Optional[AttributeProfile]],
+) -> Dict[str, FamilyEvidence]:
+    """Tabulate attribute-value evidence from support profiles.
+
+    Background negatives (``None``) are skipped — they carry no attribute
+    information, only the object/non-object signal handled elsewhere.
+    """
+    evidence: Dict[str, FamilyEvidence] = {}
+    for family, vocab in ATTRIBUTE_FAMILIES.items():
+        pos_counts = {v: 0 for v in vocab}
+        neg_counts = {v: 0 for v in vocab}
+        for profile in positives:
+            pos_counts[profile.as_dict()[family]] += 1
+        for profile in negatives:
+            if profile is not None:
+                neg_counts[profile.as_dict()[family]] += 1
+        evidence[family] = FamilyEvidence(family, pos_counts, neg_counts)
+    return evidence
+
+
+def refine_with_examples(
+    kg: KnowledgeGraph,
+    positives: Sequence[AttributeProfile],
+    negatives: Sequence[Optional[AttributeProfile]],
+    min_separation: float = 0.25,
+    max_support_fraction: float = 0.6,
+    contradiction_tolerance: float = 0.2,
+) -> KnowledgeGraph:
+    """Return a new graph reconciling ``kg`` with support evidence.
+
+    Parameters
+    ----------
+    min_separation:
+        Minimum :meth:`FamilyEvidence.separation` for a new REQUIRES
+        constraint to be inferred on an unconstrained family.
+    max_support_fraction:
+        A positive value set covering more than this fraction of the
+        family vocabulary is considered unconstrained (no edge added).
+    contradiction_tolerance:
+        Fraction of positives allowed to violate an existing REQUIRES
+        edge before the edge is widened to the observed support.
+    """
+    if not positives:
+        return KnowledgeGraph.from_dict(kg.to_dict())
+
+    refined = KnowledgeGraph.from_dict(kg.to_dict())
+    evidence = evidence_from_profiles(positives, negatives)
+
+    for family, fam_evidence in evidence.items():
+        support = fam_evidence.positive_support()
+        if not support:
+            continue
+        existing = refined.get(ConstraintKind.REQUIRES, family)
+
+        if existing is None:
+            # Possibly an omission: infer a new constraint if the support
+            # set is small and separates the classes.
+            vocab_size = len(ATTRIBUTE_FAMILIES[family])
+            if len(support) / vocab_size > max_support_fraction:
+                continue
+            separation = fam_evidence.separation()
+            if separation >= min_separation:
+                weight = float(np.clip(separation, 0.3, 1.0))
+                refined.add_constraint(
+                    Constraint(ConstraintKind.REQUIRES, family, support, weight)
+                )
+            continue
+
+        # Existing REQUIRES edge: check for contradictions.
+        violating = sum(
+            count for value, count in fam_evidence.positive_counts.items()
+            if count > 0 and value not in existing.values
+        )
+        violation_rate = violating / fam_evidence.num_positive
+        if violation_rate > contradiction_tolerance:
+            widened = existing.values | support
+            if len(widened) >= len(ATTRIBUTE_FAMILIES[family]):
+                # Constraint dissolved entirely — likely a hallucination.
+                refined.remove_constraint(ConstraintKind.REQUIRES, family)
+            else:
+                refined.replace_constraint(
+                    Constraint(ConstraintKind.REQUIRES, family, frozenset(widened),
+                               existing.weight)
+                )
+
+    # Re-estimate weights of EXCLUDES edges: drop any excluded value the
+    # positives actually exhibit (text said "ignore X" but examples show X).
+    for constraint in refined.constraints_of(ConstraintKind.EXCLUDES):
+        fam_evidence = evidence[constraint.family]
+        contradicted = {
+            value for value in constraint.values
+            if fam_evidence.positive_counts.get(value, 0) > 0
+        }
+        if contradicted:
+            remaining = constraint.values - contradicted
+            refined.remove_constraint(ConstraintKind.EXCLUDES, constraint.family)
+            if remaining:
+                refined.add_constraint(
+                    Constraint(ConstraintKind.EXCLUDES, constraint.family,
+                               frozenset(remaining), constraint.weight)
+                )
+    return refined

@@ -1,0 +1,199 @@
+"""Knowledge-graph schema.
+
+The graph is small and typed: a single task node, one node per attribute
+family it touches, and one node per attribute value, with constraint
+edges:
+
+* ``REQUIRES`` — the object's value for this family must lie in the
+  connected value set (fuzzy-AND across families in the matcher);
+* ``EXCLUDES`` — the value must not be one of the connected values;
+* ``PREFERS``  — soft preference: boosts but never vetoes.
+
+networkx supplies the storage and the generic graph algorithms used by
+the embedding utilities; this module owns the semantics.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Tuple
+
+import networkx as nx
+
+from repro.data.ontology import ATTRIBUTE_FAMILIES
+
+
+class ConstraintKind(enum.Enum):
+    REQUIRES = "requires"
+    PREFERS = "prefers"
+    EXCLUDES = "excludes"
+
+
+@dataclasses.dataclass(frozen=True)
+class Constraint:
+    """One constraint edge bundle: (kind, family, values, weight)."""
+
+    kind: ConstraintKind
+    family: str
+    values: FrozenSet[str]
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.family not in ATTRIBUTE_FAMILIES:
+            raise KeyError(f"unknown attribute family {self.family!r}")
+        unknown = set(self.values) - set(ATTRIBUTE_FAMILIES[self.family])
+        if unknown:
+            raise ValueError(f"unknown {self.family} values {sorted(unknown)}")
+        if not self.values:
+            raise ValueError("constraint with empty value set")
+        if not 0.0 < self.weight <= 1.0:
+            raise ValueError(f"weight must be in (0, 1], got {self.weight}")
+
+
+class KnowledgeGraph:
+    """Task knowledge graph.
+
+    Node naming convention inside the underlying digraph:
+    ``task:<name>``, ``family:<family>``, ``value:<family>=<value>``.
+    Edges: task→family (labelled with the constraint kind and weight) and
+    family→value (membership of the constraint's value set).
+    """
+
+    def __init__(self, task_name: str, mission_text: str = "") -> None:
+        self.task_name = task_name
+        self.mission_text = mission_text
+        self.graph = nx.DiGraph()
+        self.graph.add_node(self._task_node, kind="task", label=task_name)
+        self._constraints: List[Constraint] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def _task_node(self) -> str:
+        return f"task:{self.task_name}"
+
+    @property
+    def constraints(self) -> List[Constraint]:
+        return list(self._constraints)
+
+    def constraints_of(self, kind: ConstraintKind) -> List[Constraint]:
+        return [c for c in self._constraints if c.kind == kind]
+
+    def constrained_families(self) -> List[str]:
+        return sorted({c.family for c in self._constraints})
+
+    def __len__(self) -> int:
+        return len(self._constraints)
+
+    def __repr__(self) -> str:
+        parts = ", ".join(
+            f"{c.kind.value}({c.family}∈{{{','.join(sorted(c.values))}}}, w={c.weight:.2f})"
+            for c in self._constraints
+        )
+        return f"KnowledgeGraph({self.task_name}: {parts})"
+
+    # ------------------------------------------------------------------
+    def add_constraint(self, constraint: Constraint) -> None:
+        """Add a constraint, merging with an existing edge of the same
+        (kind, family) by value-set union and max weight."""
+        for i, existing in enumerate(self._constraints):
+            if existing.kind == constraint.kind and existing.family == constraint.family:
+                merged = Constraint(
+                    kind=constraint.kind,
+                    family=constraint.family,
+                    values=existing.values | constraint.values,
+                    weight=max(existing.weight, constraint.weight),
+                )
+                self._constraints[i] = merged
+                self._sync_graph()
+                return
+        self._constraints.append(constraint)
+        self._sync_graph()
+
+    def remove_constraint(self, kind: ConstraintKind, family: str) -> bool:
+        """Drop the (kind, family) constraint if present."""
+        before = len(self._constraints)
+        self._constraints = [
+            c for c in self._constraints
+            if not (c.kind == kind and c.family == family)
+        ]
+        changed = len(self._constraints) != before
+        if changed:
+            self._sync_graph()
+        return changed
+
+    def replace_constraint(self, constraint: Constraint) -> None:
+        """Overwrite any existing (kind, family) edge with ``constraint``."""
+        self.remove_constraint(constraint.kind, constraint.family)
+        self._constraints.append(constraint)
+        self._sync_graph()
+
+    def get(self, kind: ConstraintKind, family: str) -> Optional[Constraint]:
+        for c in self._constraints:
+            if c.kind == kind and c.family == family:
+                return c
+        return None
+
+    def _sync_graph(self) -> None:
+        """Rebuild the networkx view from the constraint list."""
+        g = nx.DiGraph()
+        g.add_node(self._task_node, kind="task", label=self.task_name)
+        for c in self._constraints:
+            family_node = f"family:{c.family}"
+            g.add_node(family_node, kind="family", label=c.family)
+            g.add_edge(self._task_node, family_node,
+                       kind=c.kind.value, weight=c.weight)
+            for value in sorted(c.values):
+                value_node = f"value:{c.family}={value}"
+                g.add_node(value_node, kind="value", family=c.family, label=value)
+                g.add_edge(family_node, value_node, kind=c.kind.value,
+                           weight=c.weight)
+        self.graph = g
+
+    # ------------------------------------------------------------------
+    # interop
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict:
+        """JSON-serializable representation."""
+        return {
+            "task": self.task_name,
+            "mission_text": self.mission_text,
+            "constraints": [
+                {
+                    "kind": c.kind.value,
+                    "family": c.family,
+                    "values": sorted(c.values),
+                    "weight": c.weight,
+                }
+                for c in self._constraints
+            ],
+        }
+
+    @staticmethod
+    def from_dict(payload: Mapping) -> "KnowledgeGraph":
+        kg = KnowledgeGraph(payload["task"], payload.get("mission_text", ""))
+        for entry in payload["constraints"]:
+            kg.add_constraint(
+                Constraint(
+                    kind=ConstraintKind(entry["kind"]),
+                    family=entry["family"],
+                    values=frozenset(entry["values"]),
+                    weight=float(entry["weight"]),
+                )
+            )
+        return kg
+
+    @staticmethod
+    def from_predicate(task_name: str, predicate, weight: float = 1.0,
+                       mission_text: str = "") -> "KnowledgeGraph":
+        """Oracle graph built directly from an
+        :class:`~repro.data.tasks.AttributePredicate` (upper bound for the
+        LLM extraction quality studies)."""
+        kg = KnowledgeGraph(task_name, mission_text)
+        for family, values in predicate.allowed.items():
+            kg.add_constraint(Constraint(ConstraintKind.REQUIRES, family,
+                                         frozenset(values), weight))
+        for family, values in predicate.forbidden.items():
+            kg.add_constraint(Constraint(ConstraintKind.EXCLUDES, family,
+                                         frozenset(values), weight))
+        return kg

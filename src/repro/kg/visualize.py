@@ -1,0 +1,72 @@
+"""Human-readable knowledge-graph rendering.
+
+Operators need to audit what the (simulated) LLM extracted before
+trusting a mission run; this module renders the graph as an ASCII tree
+and as Graphviz DOT (viewable with any dot renderer, no dependency
+needed to generate).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.kg.schema import ConstraintKind, KnowledgeGraph
+
+_KIND_GLYPH = {
+    ConstraintKind.REQUIRES: "must be",
+    ConstraintKind.EXCLUDES: "must NOT be",
+    ConstraintKind.PREFERS: "preferably",
+}
+
+
+def render_ascii(kg: KnowledgeGraph) -> str:
+    """Tree rendering, one constraint per branch."""
+    lines: List[str] = [f"task: {kg.task_name}"]
+    if kg.mission_text:
+        lines.append(f'  mission: "{kg.mission_text}"')
+    constraints = kg.constraints
+    if not constraints:
+        lines.append("  (no constraints — every object is task-relevant)")
+        return "\n".join(lines)
+    for i, constraint in enumerate(constraints):
+        last = i == len(constraints) - 1
+        branch = "└──" if last else "├──"
+        values = " | ".join(sorted(constraint.values))
+        lines.append(
+            f"  {branch} {constraint.family} {_KIND_GLYPH[constraint.kind]} "
+            f"{{{values}}}  (w={constraint.weight:.2f})"
+        )
+    return "\n".join(lines)
+
+
+def render_dot(kg: KnowledgeGraph) -> str:
+    """Graphviz DOT source for the graph."""
+    lines = [
+        "digraph task_kg {",
+        "  rankdir=LR;",
+        f'  "task" [label="{kg.task_name}", shape=doubleoctagon];',
+    ]
+    styles = {
+        ConstraintKind.REQUIRES: "solid",
+        ConstraintKind.EXCLUDES: "dashed",
+        ConstraintKind.PREFERS: "dotted",
+    }
+    for constraint in kg.constraints:
+        family_node = f"{constraint.kind.value}_{constraint.family}"
+        lines.append(
+            f'  "{family_node}" [label="{constraint.family}", shape=box];'
+        )
+        lines.append(
+            f'  "task" -> "{family_node}" '
+            f'[label="{constraint.kind.value} (w={constraint.weight:.2f})", '
+            f'style={styles[constraint.kind]}];'
+        )
+        for value in sorted(constraint.values):
+            value_node = f"{family_node}__{value}"
+            lines.append(f'  "{value_node}" [label="{value}", shape=ellipse];')
+            lines.append(
+                f'  "{family_node}" -> "{value_node}" '
+                f'[style={styles[constraint.kind]}];'
+            )
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,52 @@
+"""Neural-network building blocks on top of :mod:`repro.tensor`.
+
+Provides a compact module system (:class:`Module` / :class:`Parameter`)
+plus the layers needed for the iTask models: linear projections, layer
+normalization, multi-head self-attention, transformer encoder blocks, and
+the :class:`VisionTransformer` used by both model configurations.
+"""
+
+from repro.nn.module import Module, Parameter
+from repro.nn.layers import Linear, LayerNorm, Dropout, Identity, Sequential, Embedding
+from repro.nn.attention import MultiHeadSelfAttention
+from repro.nn.transformer import FeedForward, TransformerBlock, TransformerEncoder
+from repro.nn.vit import PatchEmbedding, VisionTransformer, ViTConfig
+from repro.nn import losses, init
+from repro.nn.losses import (
+    cross_entropy,
+    mse_loss,
+    l1_loss,
+    kl_divergence,
+    soft_target_loss,
+    binary_cross_entropy_with_logits,
+)
+from repro.nn.serialization import save_state_dict, load_state_dict, state_dict_equal
+
+__all__ = [
+    "Module",
+    "Parameter",
+    "Linear",
+    "LayerNorm",
+    "Dropout",
+    "Identity",
+    "Sequential",
+    "Embedding",
+    "MultiHeadSelfAttention",
+    "FeedForward",
+    "TransformerBlock",
+    "TransformerEncoder",
+    "PatchEmbedding",
+    "VisionTransformer",
+    "ViTConfig",
+    "losses",
+    "init",
+    "cross_entropy",
+    "mse_loss",
+    "l1_loss",
+    "kl_divergence",
+    "soft_target_loss",
+    "binary_cross_entropy_with_logits",
+    "save_state_dict",
+    "load_state_dict",
+    "state_dict_equal",
+]

@@ -1,0 +1,67 @@
+"""Weight initializers.
+
+All initializers take an explicit ``numpy.random.Generator`` so model
+construction is reproducible end to end — a requirement for the paper's
+accuracy comparisons, where teacher/student pairs must be re-creatable.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+
+def _fan_in_out(shape: Tuple[int, ...]) -> Tuple[int, int]:
+    if len(shape) < 1:
+        raise ValueError("cannot compute fans of a scalar shape")
+    if len(shape) == 1:
+        return shape[0], shape[0]
+    receptive = int(np.prod(shape[2:])) if len(shape) > 2 else 1
+    fan_in = shape[1] * receptive
+    fan_out = shape[0] * receptive
+    return fan_in, fan_out
+
+
+def xavier_uniform(shape, rng: np.random.Generator, gain: float = 1.0) -> np.ndarray:
+    """Glorot uniform: U(-a, a) with a = gain * sqrt(6 / (fan_in + fan_out))."""
+    fan_in, fan_out = _fan_in_out(tuple(shape))
+    bound = gain * np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=shape).astype(np.float32)
+
+
+def xavier_normal(shape, rng: np.random.Generator, gain: float = 1.0) -> np.ndarray:
+    fan_in, fan_out = _fan_in_out(tuple(shape))
+    std = gain * np.sqrt(2.0 / (fan_in + fan_out))
+    return (rng.standard_normal(shape) * std).astype(np.float32)
+
+
+def kaiming_uniform(shape, rng: np.random.Generator, a: float = np.sqrt(5.0)) -> np.ndarray:
+    """He uniform, matching the torch.nn.Linear default (a=sqrt(5))."""
+    fan_in, _ = _fan_in_out(tuple(shape))
+    gain = np.sqrt(2.0 / (1.0 + a * a))
+    bound = gain * np.sqrt(3.0 / fan_in)
+    return rng.uniform(-bound, bound, size=shape).astype(np.float32)
+
+
+def truncated_normal(shape, rng: np.random.Generator, std: float = 0.02,
+                     bound: float = 2.0) -> np.ndarray:
+    """Normal(0, std) with resampling outside ±bound·std (ViT default)."""
+    out = rng.standard_normal(shape)
+    bad = np.abs(out) > bound
+    while bad.any():
+        out[bad] = rng.standard_normal(int(bad.sum()))
+        bad = np.abs(out) > bound
+    return (out * std).astype(np.float32)
+
+
+def zeros(shape) -> np.ndarray:
+    return np.zeros(shape, dtype=np.float32)
+
+
+def ones(shape) -> np.ndarray:
+    return np.ones(shape, dtype=np.float32)
+
+
+def uniform(shape, rng: np.random.Generator, low: float = -0.1, high: float = 0.1) -> np.ndarray:
+    return rng.uniform(low, high, size=shape).astype(np.float32)

@@ -1,0 +1,97 @@
+"""Loss functions for supervised training and distillation."""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from repro.tensor import Tensor, log_softmax, softmax, sigmoid
+from repro.tensor.ops import one_hot
+
+
+def cross_entropy(logits: Tensor, targets: Union[np.ndarray, Tensor],
+                  label_smoothing: float = 0.0) -> Tensor:
+    """Mean cross-entropy between ``logits`` (B, C) and integer ``targets`` (B,).
+
+    ``label_smoothing`` mixes the one-hot target with the uniform
+    distribution, a regularizer the teacher training uses.
+    """
+    if isinstance(targets, Tensor):
+        targets = targets.data
+    targets = np.asarray(targets, dtype=np.int64)
+    num_classes = logits.shape[-1]
+    target_dist = one_hot(targets, num_classes).data
+    if label_smoothing > 0.0:
+        target_dist = (
+            target_dist * (1.0 - label_smoothing) + label_smoothing / num_classes
+        )
+    log_probs = log_softmax(logits, axis=-1)
+    per_sample = -(log_probs * Tensor(target_dist)).sum(axis=-1)
+    return per_sample.mean()
+
+
+def mse_loss(prediction: Tensor, target: Union[Tensor, np.ndarray]) -> Tensor:
+    target_t = target if isinstance(target, Tensor) else Tensor(np.asarray(target, np.float32))
+    diff = prediction - target_t.detach()
+    return (diff * diff).mean()
+
+
+def l1_loss(prediction: Tensor, target: Union[Tensor, np.ndarray]) -> Tensor:
+    target_t = target if isinstance(target, Tensor) else Tensor(np.asarray(target, np.float32))
+    return (prediction - target_t.detach()).abs().mean()
+
+
+def kl_divergence(student_logits: Tensor, teacher_logits: Union[Tensor, np.ndarray],
+                  temperature: float = 1.0) -> Tensor:
+    """KL(teacher ‖ student) over softened distributions.
+
+    The gradient flows only through the student; the teacher distribution
+    is treated as constant.  Scaled by T² per Hinton et al. so gradient
+    magnitudes stay comparable across temperatures.
+    """
+    teacher_data = teacher_logits.data if isinstance(teacher_logits, Tensor) else np.asarray(teacher_logits)
+    t = float(temperature)
+    shifted = teacher_data / t
+    shifted = shifted - shifted.max(axis=-1, keepdims=True)
+    teacher_probs = np.exp(shifted)
+    teacher_probs /= teacher_probs.sum(axis=-1, keepdims=True)
+    teacher_log = np.log(np.clip(teacher_probs, 1e-12, None))
+
+    student_log = log_softmax(student_logits * (1.0 / t), axis=-1)
+    per_sample = (Tensor(teacher_probs) * (Tensor(teacher_log) - student_log)).sum(axis=-1)
+    return per_sample.mean() * (t * t)
+
+
+def soft_target_loss(
+    student_logits: Tensor,
+    teacher_logits: Union[Tensor, np.ndarray],
+    targets: Union[np.ndarray, Tensor],
+    temperature: float = 2.0,
+    alpha: float = 0.7,
+) -> Tensor:
+    """Classic distillation objective: α·KD + (1−α)·CE."""
+    kd = kl_divergence(student_logits, teacher_logits, temperature=temperature)
+    ce = cross_entropy(student_logits, targets)
+    return kd * alpha + ce * (1.0 - alpha)
+
+
+def binary_cross_entropy_with_logits(logits: Tensor,
+                                     targets: Union[np.ndarray, Tensor]) -> Tensor:
+    """Numerically stable BCE on raw logits (used by the objectness head)."""
+    if isinstance(targets, Tensor):
+        targets = targets.data
+    targets_t = Tensor(np.asarray(targets, dtype=np.float32))
+    probs = sigmoid(logits)
+    from repro.tensor import clip, log
+
+    probs = clip(probs, 1e-7, 1.0 - 1e-7)
+    loss = -(targets_t * log(probs) + (1.0 - targets_t) * log(1.0 - probs))
+    return loss.mean()
+
+
+def accuracy(logits: Union[Tensor, np.ndarray], targets: Union[np.ndarray, Tensor]) -> float:
+    """Top-1 accuracy (plain float, not differentiable)."""
+    logits_data = logits.data if isinstance(logits, Tensor) else np.asarray(logits)
+    targets_data = targets.data if isinstance(targets, Tensor) else np.asarray(targets)
+    return float((logits_data.argmax(axis=-1) == targets_data).mean())

@@ -1,0 +1,182 @@
+"""Module/Parameter system.
+
+A :class:`Module` owns :class:`Parameter` leaves and child modules and
+exposes the traversal, mode switching, and (de)serialization machinery the
+rest of the library builds on.  The design intentionally mirrors
+``torch.nn.Module`` so the training code reads familiarly, but it is a
+fresh implementation over :class:`repro.tensor.Tensor`.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Iterator, Optional, Tuple
+
+import numpy as np
+
+from repro.tensor import Tensor
+
+
+class Parameter(Tensor):
+    """A trainable tensor; always created with ``requires_grad=True``."""
+
+    def __init__(self, data, dtype=np.float32, name: Optional[str] = None) -> None:
+        super().__init__(data, requires_grad=True, dtype=dtype, name=name)
+
+
+class Module:
+    """Base class for all layers and models.
+
+    Subclasses assign :class:`Parameter` and :class:`Module` instances as
+    attributes; those are discovered automatically by the traversal
+    methods.  Buffers (non-trainable state such as quantization scales or
+    running statistics) are registered via :meth:`register_buffer`.
+    """
+
+    def __init__(self) -> None:
+        self._parameters: "OrderedDict[str, Parameter]" = OrderedDict()
+        self._modules: "OrderedDict[str, Module]" = OrderedDict()
+        self._buffers: "OrderedDict[str, np.ndarray]" = OrderedDict()
+        self.training = True
+
+    # ------------------------------------------------------------------
+    # attribute interception
+    # ------------------------------------------------------------------
+    def __setattr__(self, name: str, value) -> None:
+        if isinstance(value, Parameter):
+            self.__dict__.setdefault("_parameters", OrderedDict())[name] = value
+        elif isinstance(value, Module):
+            self.__dict__.setdefault("_modules", OrderedDict())[name] = value
+        object.__setattr__(self, name, value)
+
+    def register_buffer(self, name: str, value: np.ndarray) -> None:
+        """Register non-trainable state included in ``state_dict``."""
+        self._buffers[name] = np.asarray(value)
+        object.__setattr__(self, name, self._buffers[name])
+
+    def set_buffer(self, name: str, value: np.ndarray) -> None:
+        """Update a previously registered buffer in place."""
+        if name not in self._buffers:
+            raise KeyError(f"buffer {name!r} was never registered")
+        self._buffers[name] = np.asarray(value)
+        object.__setattr__(self, name, self._buffers[name])
+
+    # ------------------------------------------------------------------
+    # traversal
+    # ------------------------------------------------------------------
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Parameter]]:
+        for name, param in self._parameters.items():
+            yield prefix + name, param
+        for name, module in self._modules.items():
+            yield from module.named_parameters(prefix=f"{prefix}{name}.")
+
+    def parameters(self) -> Iterator[Parameter]:
+        for _, param in self.named_parameters():
+            yield param
+
+    def named_modules(self, prefix: str = "") -> Iterator[Tuple[str, "Module"]]:
+        yield prefix.rstrip("."), self
+        for name, module in self._modules.items():
+            yield from module.named_modules(prefix=f"{prefix}{name}.")
+
+    def modules(self) -> Iterator["Module"]:
+        for _, module in self.named_modules():
+            yield module
+
+    def children(self) -> Iterator["Module"]:
+        yield from self._modules.values()
+
+    def named_buffers(self, prefix: str = "") -> Iterator[Tuple[str, np.ndarray]]:
+        for name, buf in self._buffers.items():
+            yield prefix + name, buf
+        for name, module in self._modules.items():
+            yield from module.named_buffers(prefix=f"{prefix}{name}.")
+
+    def num_parameters(self) -> int:
+        """Total number of trainable scalars."""
+        return sum(p.size for p in self.parameters())
+
+    # ------------------------------------------------------------------
+    # mode / gradient management
+    # ------------------------------------------------------------------
+    def train(self, mode: bool = True) -> "Module":
+        self.training = mode
+        for module in self._modules.values():
+            module.train(mode)
+        return self
+
+    def eval(self) -> "Module":
+        return self.train(False)
+
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.grad = None
+
+    # ------------------------------------------------------------------
+    # serialization
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        state: Dict[str, np.ndarray] = {}
+        for name, param in self.named_parameters():
+            state[name] = param.data.copy()
+        for name, buf in self.named_buffers():
+            state[f"buffer:{name}"] = np.asarray(buf).copy()
+        return state
+
+    def load_state_dict(self, state: Dict[str, np.ndarray], strict: bool = True) -> None:
+        own_params = dict(self.named_parameters())
+        own_buffers = {f"buffer:{n}" for n, _ in self.named_buffers()}
+        missing = []
+        for name, param in own_params.items():
+            if name not in state:
+                missing.append(name)
+                continue
+            value = np.asarray(state[name], dtype=param.dtype)
+            if value.shape != param.shape:
+                raise ValueError(
+                    f"shape mismatch for {name!r}: checkpoint {value.shape} vs model {param.shape}"
+                )
+            param.data = value.copy()
+        for key, value in state.items():
+            if key.startswith("buffer:"):
+                self._load_buffer(key[len("buffer:"):], value, strict=strict)
+        if strict:
+            unexpected = [
+                k for k in state
+                if k not in own_params and not k.startswith("buffer:")
+            ] + [k for k in state if k.startswith("buffer:") and k not in own_buffers]
+            if missing or unexpected:
+                raise KeyError(f"missing={missing} unexpected={unexpected}")
+
+    def _load_buffer(self, dotted: str, value: np.ndarray, strict: bool = True) -> None:
+        parts = dotted.split(".")
+        module: Module = self
+        for part in parts[:-1]:
+            child = module._modules.get(part)
+            if child is None:
+                if strict:
+                    raise KeyError(f"no module path {dotted!r}")
+                return
+            module = child
+        if parts[-1] in module._buffers:
+            module.set_buffer(parts[-1], value)
+        elif strict:
+            raise KeyError(f"no buffer {dotted!r}")
+
+    # ------------------------------------------------------------------
+    # call protocol
+    # ------------------------------------------------------------------
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def __repr__(self) -> str:
+        child_lines = [
+            f"  ({name}): {module.__class__.__name__}" for name, module in self._modules.items()
+        ]
+        header = self.__class__.__name__
+        if not child_lines:
+            return f"{header}()"
+        return header + "(\n" + "\n".join(child_lines) + "\n)"

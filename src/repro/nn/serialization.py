@@ -1,0 +1,38 @@
+"""Checkpoint (de)serialization for :class:`~repro.nn.Module` state dicts."""
+
+from __future__ import annotations
+
+import os
+from typing import Dict
+
+import numpy as np
+
+
+def save_state_dict(state: Dict[str, np.ndarray], path: str) -> None:
+    """Save a state dict as a compressed ``.npz`` archive."""
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    np.savez_compressed(path, **state)
+
+
+def load_state_dict(path: str) -> Dict[str, np.ndarray]:
+    """Load a state dict previously written by :func:`save_state_dict`."""
+    with np.load(path, allow_pickle=False) as archive:
+        return {key: archive[key].copy() for key in archive.files}
+
+
+def state_dict_equal(a: Dict[str, np.ndarray], b: Dict[str, np.ndarray],
+                     atol: float = 0.0) -> bool:
+    """Structural + numerical equality of two state dicts."""
+    if set(a) != set(b):
+        return False
+    for key in a:
+        left, right = np.asarray(a[key]), np.asarray(b[key])
+        if left.shape != right.shape:
+            return False
+        if atol == 0.0:
+            if not np.array_equal(left, right):
+                return False
+        elif not np.allclose(left, right, atol=atol):
+            return False
+    return True

@@ -1,0 +1,23 @@
+"""Optimizers and learning-rate schedules."""
+
+from repro.optim.optimizers import Optimizer, SGD, Adam, AdamW, clip_grad_norm
+from repro.optim.schedules import (
+    LRSchedule,
+    ConstantSchedule,
+    CosineSchedule,
+    WarmupCosineSchedule,
+    StepSchedule,
+)
+
+__all__ = [
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "AdamW",
+    "clip_grad_norm",
+    "LRSchedule",
+    "ConstantSchedule",
+    "CosineSchedule",
+    "WarmupCosineSchedule",
+    "StepSchedule",
+]

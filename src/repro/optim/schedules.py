@@ -1,0 +1,88 @@
+"""Learning-rate schedules.
+
+Schedules are plain callables ``step -> lr``; :meth:`LRSchedule.apply`
+pushes the value into an optimizer.  Keeping them stateless makes the
+training loops trivially resumable and easy to property-test.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.optim.optimizers import Optimizer
+
+
+class LRSchedule:
+    """Base schedule."""
+
+    def __call__(self, step: int) -> float:
+        raise NotImplementedError
+
+    def apply(self, optimizer: Optimizer, step: int) -> float:
+        lr = self(step)
+        optimizer.set_lr(lr)
+        return lr
+
+
+class ConstantSchedule(LRSchedule):
+    def __init__(self, lr: float) -> None:
+        self.lr = float(lr)
+
+    def __call__(self, step: int) -> float:
+        return self.lr
+
+
+class StepSchedule(LRSchedule):
+    """Multiply the base LR by ``gamma`` every ``step_size`` steps."""
+
+    def __init__(self, base_lr: float, step_size: int, gamma: float = 0.1) -> None:
+        if step_size <= 0:
+            raise ValueError("step_size must be positive")
+        self.base_lr = float(base_lr)
+        self.step_size = int(step_size)
+        self.gamma = float(gamma)
+
+    def __call__(self, step: int) -> float:
+        return self.base_lr * self.gamma ** (step // self.step_size)
+
+
+class CosineSchedule(LRSchedule):
+    """Cosine decay from ``base_lr`` to ``min_lr`` over ``total_steps``."""
+
+    def __init__(self, base_lr: float, total_steps: int, min_lr: float = 0.0) -> None:
+        if total_steps <= 0:
+            raise ValueError("total_steps must be positive")
+        self.base_lr = float(base_lr)
+        self.total_steps = int(total_steps)
+        self.min_lr = float(min_lr)
+
+    def __call__(self, step: int) -> float:
+        progress = min(max(step, 0), self.total_steps) / self.total_steps
+        cosine = 0.5 * (1.0 + math.cos(math.pi * progress))
+        return self.min_lr + (self.base_lr - self.min_lr) * cosine
+
+
+class WarmupCosineSchedule(LRSchedule):
+    """Linear warmup followed by cosine decay — the ViT training default."""
+
+    def __init__(
+        self,
+        base_lr: float,
+        total_steps: int,
+        warmup_steps: int = 0,
+        min_lr: float = 0.0,
+    ) -> None:
+        if warmup_steps < 0 or warmup_steps >= total_steps:
+            raise ValueError("need 0 <= warmup_steps < total_steps")
+        self.base_lr = float(base_lr)
+        self.total_steps = int(total_steps)
+        self.warmup_steps = int(warmup_steps)
+        self.min_lr = float(min_lr)
+        self._cosine = CosineSchedule(
+            base_lr, total_steps - warmup_steps, min_lr=min_lr
+        )
+
+    def __call__(self, step: int) -> float:
+        if self.warmup_steps and step < self.warmup_steps:
+            return self.base_lr * (step + 1) / self.warmup_steps
+        return self._cosine(step - self.warmup_steps)

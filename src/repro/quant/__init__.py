@@ -1,0 +1,61 @@
+"""Quantization: the paper's *quantized configuration*.
+
+Implements the full post-training-quantization (PTQ) stack plus
+quantization-aware training (QAT) support:
+
+* :mod:`repro.quant.qparams` — scale/zero-point math for arbitrary bit
+  widths, symmetric/asymmetric, per-tensor/per-channel;
+* :mod:`repro.quant.observers` — calibration statistics collectors
+  (min-max, moving-average, percentile, MSE-optimal);
+* :mod:`repro.quant.fake_quant` — straight-through-estimator fake
+  quantization for QAT;
+* :mod:`repro.quant.linear` — :class:`QuantizedLinear` with true integer
+  matmul and requantization, the kernel the accelerator executes;
+* :mod:`repro.quant.vit` — whole-model conversion:
+  :class:`QuantizedVisionTransformer` (GEMMs in int, normalization and
+  softmax in float, matching standard int8 ViT deployments).
+"""
+
+from repro.quant.qparams import (
+    QuantSpec,
+    QuantParams,
+    quantize_array,
+    dequantize_array,
+    fake_quantize_array,
+    compute_qparams,
+)
+from repro.quant.observers import (
+    Observer,
+    MinMaxObserver,
+    MovingAverageObserver,
+    PercentileObserver,
+    MSEObserver,
+)
+from repro.quant.fake_quant import FakeQuantize, fake_quantize
+from repro.quant.linear import QuantizedLinear
+from repro.quant.vit import QuantizedVisionTransformer, quantize_vit, calibrate_observers
+from repro.quant.qat import QATConfig, QATLinear, QATVisionTransformer, train_qat
+
+__all__ = [
+    "QuantSpec",
+    "QuantParams",
+    "quantize_array",
+    "dequantize_array",
+    "fake_quantize_array",
+    "compute_qparams",
+    "Observer",
+    "MinMaxObserver",
+    "MovingAverageObserver",
+    "PercentileObserver",
+    "MSEObserver",
+    "FakeQuantize",
+    "fake_quantize",
+    "QuantizedLinear",
+    "QuantizedVisionTransformer",
+    "quantize_vit",
+    "calibrate_observers",
+    "QATConfig",
+    "QATLinear",
+    "QATVisionTransformer",
+    "train_qat",
+]

@@ -1,0 +1,71 @@
+"""Fake quantization with a straight-through estimator.
+
+``fake_quantize`` simulates quantization in the forward pass (round to the
+grid, clip to the representable range, dequantize) while letting gradients
+flow unchanged through in-range values — the standard STE used for
+quantization-aware training.  Out-of-range values receive zero gradient,
+which is what teaches QAT to pull activations inside the clip range.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn.module import Module
+from repro.quant.observers import Observer
+from repro.quant.qparams import QuantParams, QuantSpec, fake_quantize_array
+from repro.tensor import Tensor
+
+
+def fake_quantize(x: Tensor, params: QuantParams) -> Tensor:
+    """Differentiable (STE) quantize–dequantize of ``x``."""
+    spec = params.spec
+    scale, zero_point = params._broadcast(x.ndim)
+    raw = np.round(x.data.astype(np.float64) / scale) + zero_point
+    in_range = (raw >= spec.qmin) & (raw <= spec.qmax)
+    clipped = np.clip(raw, spec.qmin, spec.qmax)
+    data = ((clipped - zero_point) * scale).astype(np.float32)
+
+    def backward(grad: np.ndarray) -> None:
+        out._send(x, grad * in_range)
+
+    out = Tensor.from_op(data, (x,), backward)
+    return out
+
+
+class FakeQuantize(Module):
+    """A fake-quantization point with an attached observer.
+
+    Modes:
+
+    * *observing* (``calibrating=True``): forwards pass through untouched
+      while the observer collects statistics;
+    * *quantizing* (after :meth:`freeze`): applies STE fake quantization
+      with the frozen parameters.
+    """
+
+    def __init__(self, observer: Observer) -> None:
+        super().__init__()
+        self.observer = observer
+        self.calibrating = True
+        self.params: Optional[QuantParams] = None
+
+    def freeze(self) -> QuantParams:
+        """Stop calibrating; compute and pin the quantization parameters."""
+        self.params = self.observer.compute()
+        self.calibrating = False
+        return self.params
+
+    def forward(self, x: Tensor) -> Tensor:
+        if self.calibrating:
+            self.observer.observe(x.data)
+            return x
+        if self.params is None:
+            raise RuntimeError("FakeQuantize used after calibration without freeze()")
+        return fake_quantize(x, self.params)
+
+    def __repr__(self) -> str:
+        state = "calibrating" if self.calibrating else f"frozen({self.params.spec.bits}b)"
+        return f"FakeQuantize({state})"

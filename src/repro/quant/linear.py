@@ -1,0 +1,134 @@
+"""Integer linear layer: the kernel the accelerator executes.
+
+``QuantizedLinear`` stores int weights (per-output-channel symmetric by
+default) and quantizes activations on the fly with frozen per-tensor
+parameters.  The matmul itself runs in integer arithmetic with an int32
+accumulator — exactly what the systolic array in :mod:`repro.hw` does —
+followed by a float requantization:
+
+    y[n, c] = s_x · s_w[c] · ( Σ_k x_q[n,k] · W_q[c,k]  −  z_x · Σ_k W_q[c,k] ) + b[c]
+
+The zero-point correction term ``z_x · Σ_k W_q`` is precomputed per
+channel, as a deployment compiler would.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn.layers import Linear
+from repro.quant.qparams import (
+    QuantParams,
+    QuantSpec,
+    channel_minmax,
+    compute_qparams,
+    quantize_array,
+)
+
+
+class QuantizedLinear:
+    """Frozen, inference-only quantized affine layer.
+
+    Not a :class:`~repro.nn.Module` — it owns no trainable parameters and
+    operates on plain numpy arrays (the quantized model never
+    backpropagates).
+    """
+
+    def __init__(
+        self,
+        weight_q: np.ndarray,
+        weight_params: QuantParams,
+        act_params: QuantParams,
+        bias: Optional[np.ndarray],
+    ) -> None:
+        if weight_q.ndim != 2:
+            raise ValueError("weight_q must be (out_features, in_features)")
+        if weight_params.spec.per_channel and weight_params.scale.shape[0] != weight_q.shape[0]:
+            raise ValueError("per-channel scale count must equal out_features")
+        if act_params.spec.per_channel:
+            raise ValueError("activation quantization must be per-tensor")
+        self.weight_q = weight_q.astype(np.int32)
+        self.weight_params = weight_params
+        self.act_params = act_params
+        self.bias = None if bias is None else np.asarray(bias, dtype=np.float64)
+        # Precomputed requantization constants.
+        self._weight_scale = np.asarray(weight_params.scale, dtype=np.float64).reshape(-1)
+        self._act_scale = float(np.asarray(act_params.scale).reshape(()))
+        self._act_zero = int(np.asarray(act_params.zero_point).reshape(()))
+        self._weight_col_sum = self.weight_q.sum(axis=1).astype(np.int64)
+
+    # ------------------------------------------------------------------
+    @property
+    def out_features(self) -> int:
+        return self.weight_q.shape[0]
+
+    @property
+    def in_features(self) -> int:
+        return self.weight_q.shape[1]
+
+    @property
+    def weight_bits(self) -> int:
+        return self.weight_params.spec.bits
+
+    @property
+    def act_bits(self) -> int:
+        return self.act_params.spec.bits
+
+    def dequantized_weight(self) -> np.ndarray:
+        """Float reconstruction of the stored weights (for error analysis)."""
+        scale = self._weight_scale
+        if self.weight_params.spec.per_channel:
+            return (self.weight_q * scale[:, None]).astype(np.float32)
+        return (self.weight_q * scale).astype(np.float32)
+
+    # ------------------------------------------------------------------
+    def quantize_input(self, x: np.ndarray) -> np.ndarray:
+        """Activations → integer codes with the frozen act parameters."""
+        return quantize_array(x, self.act_params).astype(np.int32)
+
+    def forward_integer(self, x_q: np.ndarray) -> np.ndarray:
+        """Integer GEMM + requantization from pre-quantized activations.
+
+        ``x_q`` has shape (..., in_features), values already clipped to
+        the activation grid.
+        """
+        acc = x_q.astype(np.int64) @ self.weight_q.T.astype(np.int64)  # int accumulate
+        acc = acc - self._act_zero * self._weight_col_sum
+        y = acc.astype(np.float64) * (self._act_scale * self._weight_scale)
+        if self.bias is not None:
+            y = y + self.bias
+        return y.astype(np.float32)
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        """Float in → float out, with integer compute in the middle."""
+        original_shape = x.shape
+        flat = x.reshape(-1, original_shape[-1])
+        y = self.forward_integer(self.quantize_input(flat))
+        return y.reshape(*original_shape[:-1], self.out_features)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def from_linear(
+        linear: Linear,
+        act_params: QuantParams,
+        weight_spec: QuantSpec = QuantSpec(bits=8, symmetric=True,
+                                           per_channel=True, axis=0),
+    ) -> "QuantizedLinear":
+        """Quantize a trained float :class:`~repro.nn.Linear`."""
+        weight = linear.weight.data
+        if weight_spec.per_channel:
+            lo, hi = channel_minmax(weight, weight_spec.axis)
+        else:
+            lo, hi = weight.min(), weight.max()
+        weight_params = compute_qparams(lo, hi, weight_spec)
+        weight_q = quantize_array(weight, weight_params)
+        bias = None if linear.bias is None else linear.bias.data
+        return QuantizedLinear(weight_q, weight_params, act_params, bias)
+
+    def __repr__(self) -> str:
+        return (
+            f"QuantizedLinear(in={self.in_features}, out={self.out_features}, "
+            f"w{self.weight_bits}a{self.act_bits})"
+        )

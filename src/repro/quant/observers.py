@@ -1,0 +1,223 @@
+"""Calibration observers.
+
+An observer watches tensors flowing through a point in the network during
+calibration and, when asked, produces :class:`~repro.quant.QuantParams`.
+Four strategies are provided, matching the PTQ literature's standard menu:
+
+* :class:`MinMaxObserver` — exact running min/max; simple, outlier-prone;
+* :class:`MovingAverageObserver` — EMA of per-batch min/max; smoother;
+* :class:`PercentileObserver` — clips the tails (e.g. 99.9th percentile);
+* :class:`MSEObserver` — grid-searches the clipping range minimizing the
+  quantization MSE (the strongest of the four, used as default for
+  activations in the bit-width sweep).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.quant.qparams import (
+    QuantParams,
+    QuantSpec,
+    channel_minmax,
+    compute_qparams,
+    fake_quantize_array,
+)
+
+
+class Observer:
+    """Base observer: accumulate statistics, emit qparams."""
+
+    def __init__(self, spec: QuantSpec) -> None:
+        self.spec = spec
+        self.num_batches = 0
+
+    def observe(self, x: np.ndarray) -> None:
+        raise NotImplementedError
+
+    def compute(self) -> QuantParams:
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        self.num_batches = 0
+
+    def _require_data(self) -> None:
+        if self.num_batches == 0:
+            raise RuntimeError(
+                f"{type(self).__name__}.compute() called before any observe()"
+            )
+
+
+class MinMaxObserver(Observer):
+    """Running global (or per-channel) min/max."""
+
+    def __init__(self, spec: QuantSpec) -> None:
+        super().__init__(spec)
+        self.min_val: Optional[np.ndarray] = None
+        self.max_val: Optional[np.ndarray] = None
+
+    def observe(self, x: np.ndarray) -> None:
+        x = np.asarray(x)
+        if self.spec.per_channel:
+            lo, hi = channel_minmax(x, self.spec.axis)
+        else:
+            lo, hi = np.asarray(x.min()), np.asarray(x.max())
+        if self.min_val is None:
+            self.min_val, self.max_val = lo.astype(np.float64), hi.astype(np.float64)
+        else:
+            self.min_val = np.minimum(self.min_val, lo)
+            self.max_val = np.maximum(self.max_val, hi)
+        self.num_batches += 1
+
+    def compute(self) -> QuantParams:
+        self._require_data()
+        return compute_qparams(self.min_val, self.max_val, self.spec)
+
+    def reset(self) -> None:
+        super().reset()
+        self.min_val = None
+        self.max_val = None
+
+
+class MovingAverageObserver(Observer):
+    """EMA of per-batch min/max (torch's default for activations)."""
+
+    def __init__(self, spec: QuantSpec, momentum: float = 0.9) -> None:
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError("momentum must be in [0, 1)")
+        super().__init__(spec)
+        self.momentum = momentum
+        self.min_val: Optional[np.ndarray] = None
+        self.max_val: Optional[np.ndarray] = None
+
+    def observe(self, x: np.ndarray) -> None:
+        x = np.asarray(x)
+        if self.spec.per_channel:
+            lo, hi = channel_minmax(x, self.spec.axis)
+        else:
+            lo, hi = np.asarray(x.min()), np.asarray(x.max())
+        if self.min_val is None:
+            self.min_val, self.max_val = lo.astype(np.float64), hi.astype(np.float64)
+        else:
+            m = self.momentum
+            self.min_val = m * self.min_val + (1 - m) * lo
+            self.max_val = m * self.max_val + (1 - m) * hi
+        self.num_batches += 1
+
+    def compute(self) -> QuantParams:
+        self._require_data()
+        return compute_qparams(self.min_val, self.max_val, self.spec)
+
+    def reset(self) -> None:
+        super().reset()
+        self.min_val = None
+        self.max_val = None
+
+
+class PercentileObserver(Observer):
+    """Range from percentiles of the pooled calibration sample.
+
+    Keeps a bounded reservoir of observed values to avoid unbounded
+    memory; adequate for the calibration-set sizes used here.
+    """
+
+    def __init__(self, spec: QuantSpec, percentile: float = 99.9,
+                 max_samples: int = 2_000_000, seed: int = 0) -> None:
+        if not 50.0 < percentile <= 100.0:
+            raise ValueError("percentile must be in (50, 100]")
+        if spec.per_channel:
+            raise ValueError("PercentileObserver supports per-tensor specs only")
+        super().__init__(spec)
+        self.percentile = percentile
+        self.max_samples = max_samples
+        self._samples: list = []
+        self._count = 0
+        self._rng = np.random.default_rng(seed)
+
+    def observe(self, x: np.ndarray) -> None:
+        flat = np.asarray(x, dtype=np.float64).reshape(-1)
+        budget = self.max_samples - self._count
+        if budget <= 0:
+            # Reservoir-style: random subsample replaces nothing; simply
+            # subsample the incoming batch at the same global rate.
+            keep = self._rng.random(flat.size) < (self.max_samples / max(self._count, 1)) * 0.1
+            flat = flat[keep]
+        elif flat.size > budget:
+            flat = self._rng.choice(flat, size=budget, replace=False)
+        if flat.size:
+            self._samples.append(flat)
+            self._count += flat.size
+        self.num_batches += 1
+
+    def compute(self) -> QuantParams:
+        self._require_data()
+        pooled = np.concatenate(self._samples)
+        lower = np.percentile(pooled, 100.0 - self.percentile)
+        upper = np.percentile(pooled, self.percentile)
+        return compute_qparams(lower, upper, self.spec)
+
+    def reset(self) -> None:
+        super().reset()
+        self._samples = []
+        self._count = 0
+
+
+class MSEObserver(Observer):
+    """Grid search over symmetric range shrinkage minimizing quant MSE."""
+
+    def __init__(self, spec: QuantSpec, num_candidates: int = 20,
+                 max_samples: int = 500_000, seed: int = 0) -> None:
+        if spec.per_channel:
+            raise ValueError("MSEObserver supports per-tensor specs only")
+        super().__init__(spec)
+        self.num_candidates = num_candidates
+        self.max_samples = max_samples
+        self._samples: list = []
+        self._count = 0
+        self._rng = np.random.default_rng(seed)
+
+    def observe(self, x: np.ndarray) -> None:
+        flat = np.asarray(x, dtype=np.float64).reshape(-1)
+        budget = self.max_samples - self._count
+        if budget > 0:
+            if flat.size > budget:
+                flat = self._rng.choice(flat, size=budget, replace=False)
+            self._samples.append(flat)
+            self._count += flat.size
+        self.num_batches += 1
+
+    def compute(self) -> QuantParams:
+        self._require_data()
+        pooled = np.concatenate(self._samples)
+        lo_full, hi_full = float(pooled.min()), float(pooled.max())
+        best_params: Optional[QuantParams] = None
+        best_err = np.inf
+        for i in range(self.num_candidates):
+            shrink = 1.0 - 0.8 * i / self.num_candidates  # 1.0 → 0.2
+            candidate = compute_qparams(lo_full * shrink, hi_full * shrink, self.spec)
+            err = float(np.mean((pooled - fake_quantize_array(pooled, candidate)) ** 2))
+            if err < best_err:
+                best_err, best_params = err, candidate
+        assert best_params is not None
+        return best_params
+
+    def reset(self) -> None:
+        super().reset()
+        self._samples = []
+        self._count = 0
+
+
+def make_observer(kind: str, spec: QuantSpec, **kwargs) -> Observer:
+    """Factory by name: minmax | moving_average | percentile | mse."""
+    registry = {
+        "minmax": MinMaxObserver,
+        "moving_average": MovingAverageObserver,
+        "percentile": PercentileObserver,
+        "mse": MSEObserver,
+    }
+    try:
+        return registry[kind](spec, **kwargs)
+    except KeyError:
+        raise KeyError(f"unknown observer kind {kind!r}; choose from {sorted(registry)}") from None

@@ -1,0 +1,243 @@
+"""Whole-model quantization of the Vision Transformer.
+
+The quantized configuration runs every GEMM (patch projection, QKV,
+attention output, MLP, heads) in integer arithmetic via
+:class:`~repro.quant.QuantizedLinear`, while LayerNorm, softmax, and GELU
+stay in float — the standard int8 ViT deployment recipe, and exactly the
+split the hardware accelerator implements (GEMMs on the systolic array,
+the rest on the vector unit).
+
+One forward implementation (:func:`_vit_forward`) serves both calibration
+(float projections + observers at every GEMM input) and quantized
+inference (integer projections), so the calibration points can never
+drift from the deployed graph.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+from scipy import special as _special
+
+from repro.nn import Linear, VisionTransformer
+from repro.quant.linear import QuantizedLinear
+from repro.quant.observers import Observer, make_observer
+from repro.quant.qparams import QuantParams, QuantSpec
+
+_SQRT_2_OVER_PI = float(np.sqrt(2.0 / np.pi))
+
+ProjFn = Callable[[np.ndarray], np.ndarray]
+
+
+def _layernorm(x: np.ndarray, weight: np.ndarray, bias: np.ndarray,
+               eps: float = 1e-5) -> np.ndarray:
+    mean = x.mean(axis=-1, keepdims=True)
+    centered = x - mean
+    var = (centered * centered).mean(axis=-1, keepdims=True)
+    return centered / np.sqrt(var + eps) * weight + bias
+
+
+def _softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    shifted = x - x.max(axis=axis, keepdims=True)
+    e = np.exp(shifted)
+    return e / e.sum(axis=axis, keepdims=True)
+
+
+def _gelu_tanh(x: np.ndarray) -> np.ndarray:
+    """tanh-approximated GELU — matches the hardware vector unit's LUT."""
+    return 0.5 * x * (1.0 + np.tanh(_SQRT_2_OVER_PI * (x + 0.044715 * x ** 3)))
+
+
+def gemm_sites(depth: int, attribute_names: List[str],
+               with_task_head: bool = False) -> List[str]:
+    """Names of every GEMM input site, in execution order."""
+    sites = ["patch_proj"]
+    for i in range(depth):
+        sites += [f"block{i}.qkv", f"block{i}.proj", f"block{i}.fc1", f"block{i}.fc2"]
+    sites.append("head")
+    sites += [f"attr_head_{name}" for name in attribute_names]
+    if with_task_head:
+        sites += ["task_head.fc1", "task_head.fc2"]
+    return sites
+
+
+def _model_sites(model: VisionTransformer) -> List[str]:
+    return gemm_sites(model.config.depth, model.attribute_names,
+                      with_task_head=model.task_head is not None)
+
+
+def _float_proj(linear: Linear) -> ProjFn:
+    weight = linear.weight.data
+    bias = None if linear.bias is None else linear.bias.data
+
+    def apply(x: np.ndarray) -> np.ndarray:
+        y = x @ weight.T
+        return y if bias is None else y + bias
+
+    return apply
+
+
+def _vit_forward(
+    model: VisionTransformer,
+    images: np.ndarray,
+    projections: Mapping[str, ProjFn],
+    observers: Optional[Mapping[str, Observer]] = None,
+) -> Dict[str, np.ndarray]:
+    """Shared ViT inference over pluggable projection kernels."""
+    cfg = model.config
+    batch = images.shape[0]
+    grid = cfg.image_size // cfg.patch_size
+
+    def project(site: str, x: np.ndarray) -> np.ndarray:
+        if observers is not None and site in observers:
+            observers[site].observe(x)
+        return projections[site](x)
+
+    patches = images.reshape(
+        batch, cfg.in_channels, grid, cfg.patch_size, grid, cfg.patch_size
+    ).transpose(0, 2, 4, 1, 3, 5).reshape(batch, grid * grid, cfg.patch_dim)
+    tokens = project("patch_proj", patches)
+
+    cls = np.broadcast_to(model.cls_token.data.reshape(1, 1, cfg.dim),
+                          (batch, 1, cfg.dim))
+    x = np.concatenate([cls, tokens], axis=1) + model.pos_embed.data
+
+    num_heads, head_dim = cfg.num_heads, cfg.dim // cfg.num_heads
+    scale = 1.0 / np.sqrt(head_dim)
+    seq = cfg.num_tokens
+
+    for i, block in enumerate(model.encoder.blocks):
+        normed = _layernorm(x, block.norm1.weight.data, block.norm1.bias.data)
+        qkv = project(f"block{i}.qkv", normed)
+        qkv = qkv.reshape(batch, seq, 3, num_heads, head_dim).transpose(2, 0, 3, 1, 4)
+        q, k, v = qkv[0], qkv[1], qkv[2]
+        attn = _softmax((q @ k.transpose(0, 1, 3, 2)) * scale)
+        context = (attn @ v).transpose(0, 2, 1, 3).reshape(batch, seq, cfg.dim)
+        x = x + project(f"block{i}.proj", context)
+
+        normed = _layernorm(x, block.norm2.weight.data, block.norm2.bias.data)
+        hidden = _gelu_tanh(project(f"block{i}.fc1", normed))
+        x = x + project(f"block{i}.fc2", hidden)
+
+    x = _layernorm(x, model.norm.weight.data, model.norm.bias.data)
+    cls_embedding = x[:, 0]
+    out: Dict[str, np.ndarray] = {
+        "class_logits": project("head", cls_embedding),
+        "cls_embedding": cls_embedding,
+    }
+    out["attributes"] = {
+        name: project(f"attr_head_{name}", cls_embedding)
+        for name in model.attribute_names
+    }
+    if model.task_head is not None:
+        hidden = _gelu_tanh(project("task_head.fc1", cls_embedding))
+        out["task_logits"] = project("task_head.fc2", hidden)
+    return out
+
+
+def _site_linear(model: VisionTransformer, site: str) -> Linear:
+    """Resolve a GEMM site name to the model's Linear layer."""
+    if site == "patch_proj":
+        return model.patch_embed.proj
+    if site == "head":
+        return model.head
+    if site.startswith("task_head."):
+        if model.task_head is None:
+            raise KeyError("model has no task head")
+        return getattr(model.task_head, site.split(".", 1)[1])
+    if site.startswith("attr_head_"):
+        return model._modules[site]
+    block_name, layer = site.split(".")
+    block = model.encoder._modules[block_name]
+    if layer == "qkv":
+        return block.attn.qkv
+    if layer == "proj":
+        return block.attn.proj
+    if layer in ("fc1", "fc2"):
+        return getattr(block.mlp, layer)
+    raise KeyError(f"unknown GEMM site {site!r}")
+
+
+def calibrate_observers(
+    model: VisionTransformer,
+    calibration_images: np.ndarray,
+    act_spec: QuantSpec = QuantSpec(bits=8, symmetric=False),
+    observer_kind: str = "minmax",
+    batch_size: int = 64,
+) -> Dict[str, QuantParams]:
+    """Run float inference over the calibration set, observing every GEMM
+    input, and return frozen activation quantization parameters."""
+    sites = _model_sites(model)
+    observers = {site: make_observer(observer_kind, act_spec) for site in sites}
+    projections = {site: _float_proj(_site_linear(model, site)) for site in sites}
+    for start in range(0, calibration_images.shape[0], batch_size):
+        chunk = calibration_images[start:start + batch_size]
+        _vit_forward(model, chunk, projections, observers)
+    return {site: obs.compute() for site, obs in observers.items()}
+
+
+@dataclasses.dataclass
+class QuantizedVisionTransformer:
+    """Inference-only quantized ViT (the paper's quantized configuration)."""
+
+    model: VisionTransformer                 # float parameters for LN/pos/cls
+    layers: Dict[str, QuantizedLinear]       # site -> integer kernel
+
+    def forward(self, images: np.ndarray) -> Dict[str, np.ndarray]:
+        projections: Dict[str, ProjFn] = dict(self.layers)
+        return _vit_forward(self.model, np.asarray(images, np.float32), projections)
+
+    __call__ = forward
+
+    def classify(self, images: np.ndarray) -> np.ndarray:
+        return self.forward(images)["class_logits"].argmax(axis=-1)
+
+    @property
+    def config(self):
+        return self.model.config
+
+    @property
+    def attribute_names(self) -> List[str]:
+        return self.model.attribute_names
+
+    def weight_bits(self) -> int:
+        return next(iter(self.layers.values())).weight_bits
+
+    def model_size_bytes(self) -> int:
+        """Deployed parameter footprint: int weights + float aux params."""
+        total = 0
+        for layer in self.layers.values():
+            total += layer.weight_q.size * layer.weight_bits // 8
+            if layer.bias is not None:
+                total += layer.bias.size * 4
+        # LayerNorm / cls / pos parameters stay fp32 (they are tiny).
+        quantized_names = {"weight", "bias"}
+        for name, param in self.model.named_parameters():
+            leaf = name.rsplit(".", 1)[-1]
+            if leaf not in quantized_names or "norm" in name:
+                total += param.size * 4
+        return total
+
+
+def quantize_vit(
+    model: VisionTransformer,
+    calibration_images: np.ndarray,
+    weight_spec: QuantSpec = QuantSpec(bits=8, symmetric=True,
+                                       per_channel=True, axis=0),
+    act_spec: QuantSpec = QuantSpec(bits=8, symmetric=False),
+    observer_kind: str = "minmax",
+) -> QuantizedVisionTransformer:
+    """Post-training quantization: calibrate, convert every GEMM."""
+    act_params = calibrate_observers(
+        model, np.asarray(calibration_images, np.float32),
+        act_spec=act_spec, observer_kind=observer_kind,
+    )
+    layers = {
+        site: QuantizedLinear.from_linear(
+            _site_linear(model, site), act_params[site], weight_spec,
+        )
+        for site in _model_sites(model)
+    }
+    return QuantizedVisionTransformer(model=model, layers=layers)

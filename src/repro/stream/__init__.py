@@ -1,0 +1,24 @@
+"""Streaming detection: the paper's real-time sensing deployment.
+
+iTask's accelerator exists to process continuous sensor streams.  This
+package provides the temporal substrate: scene *sequences* in which
+objects persist across frames (with appearance jitter, births and
+deaths), a streaming detector with per-cell score smoothing and
+hysteresis (suppressing single-frame flicker), and streaming metrics —
+per-frame accuracy, detection latency in frames, and flicker rate.
+"""
+
+from repro.stream.sequence import FrameState, SceneSequence, SequenceConfig
+from repro.stream.tracker import StreamingDetector, Track, TrackerConfig
+from repro.stream.metrics import StreamingMetrics, evaluate_stream
+
+__all__ = [
+    "FrameState",
+    "SceneSequence",
+    "SequenceConfig",
+    "StreamingDetector",
+    "Track",
+    "TrackerConfig",
+    "StreamingMetrics",
+    "evaluate_stream",
+]

@@ -1,0 +1,92 @@
+"""Streaming detection metrics.
+
+Three quantities matter for a real-time task detector:
+
+* **frame accuracy** — per-frame cell-decision accuracy (same metric as
+  the static pipeline, averaged over the stream);
+* **detection latency** — frames between a relevant object's birth and
+  the first frame an active track covers its cell;
+* **flicker rate** — decision sign changes per cell per frame, measuring
+  temporal stability (what the tracker's hysteresis suppresses).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.data.tasks import TaskDefinition
+from repro.stream.sequence import FrameState, SceneSequence
+from repro.stream.tracker import StreamingDetector
+
+
+@dataclasses.dataclass
+class StreamingMetrics:
+    frame_accuracy: float
+    mean_detection_latency: float   # frames; NaN if nothing detected
+    detected_fraction: float        # relevant objects detected before death
+    flicker_rate: float             # decision flips / (cells × frames)
+    frames: int
+
+    def as_dict(self) -> Dict[str, float]:
+        return dataclasses.asdict(self)
+
+
+def evaluate_stream(
+    detector: StreamingDetector,
+    sequence: SceneSequence,
+    task: TaskDefinition,
+    num_frames: int = 40,
+) -> StreamingMetrics:
+    """Drive ``detector`` over ``num_frames`` of ``sequence``."""
+    correct = 0
+    total = 0
+    flips = 0
+    previous_decisions: Dict[Tuple[int, int], bool] = {}
+    birth_frame: Dict[int, int] = {}
+    detect_frame: Dict[int, int] = {}
+    dead: Set[int] = set()
+    relevant_ids: Set[int] = set()
+
+    for state in sequence.frames(num_frames):
+        scene = state.scene
+        tracks = detector.update(scene)
+        fired = {t.cell for t in tracks}
+
+        relevant_cells = {}
+        for obj, obj_id in zip(scene.objects, state.object_ids):
+            if task.matches(obj.profile):
+                relevant_cells[obj.cell] = obj_id
+                relevant_ids.add(obj_id)
+                birth_frame.setdefault(obj_id, state.index)
+        for obj_id in state.deaths:
+            dead.add(obj_id)
+
+        for row in range(scene.grid):
+            for col in range(scene.grid):
+                cell = (row, col)
+                decision = cell in fired
+                truth = cell in relevant_cells
+                correct += int(decision == truth)
+                total += 1
+                if cell in previous_decisions and previous_decisions[cell] != decision:
+                    flips += 1
+                previous_decisions[cell] = decision
+
+        for cell, obj_id in relevant_cells.items():
+            if cell in fired and obj_id not in detect_frame:
+                detect_frame[obj_id] = state.index
+
+    latencies = [detect_frame[i] - birth_frame[i]
+                 for i in detect_frame if i in birth_frame]
+    detected = len(detect_frame)
+    return StreamingMetrics(
+        frame_accuracy=correct / max(total, 1),
+        mean_detection_latency=(float(np.mean(latencies)) if latencies
+                                else float("nan")),
+        detected_fraction=detected / max(len(relevant_ids), 1),
+        flicker_rate=flips / max(total, 1),
+        frames=num_frames,
+    )

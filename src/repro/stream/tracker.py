@@ -1,0 +1,131 @@
+"""Streaming detector: temporal smoothing + hysteresis over frames.
+
+Single-frame detections flicker: sensor noise makes a borderline window
+cross the threshold one frame and miss the next.  The streaming detector
+keeps an exponential moving average of the combined score per grid cell
+and applies hysteresis — a track turns *on* above ``on_threshold`` and
+only turns *off* below the lower ``off_threshold``.  Tracks carry stable
+ids across frames.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.data.datasets import background_class_id
+from repro.data.scenes import Scene
+from repro.detect.pipeline import ModelLike, predict_windows
+from repro.kg.matcher import GraphMatcher
+
+
+@dataclasses.dataclass(frozen=True)
+class TrackerConfig:
+    smoothing: float = 0.6        # EMA weight on the previous score
+    on_threshold: float = 0.4
+    off_threshold: float = 0.25
+    max_missed_frames: int = 3    # drop a track after this many off frames
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.smoothing < 1.0:
+            raise ValueError("smoothing must be in [0, 1)")
+        if not 0.0 <= self.off_threshold <= self.on_threshold <= 1.0:
+            raise ValueError("need 0 <= off_threshold <= on_threshold <= 1")
+
+
+@dataclasses.dataclass
+class Track:
+    """A task-relevant object persisted across frames."""
+
+    track_id: int
+    cell: Tuple[int, int]
+    first_frame: int
+    last_frame: int
+    score: float
+    active: bool = True
+    missed: int = 0
+
+
+class StreamingDetector:
+    """Stateful per-cell detector over a frame stream."""
+
+    def __init__(self, model: ModelLike, matcher: Optional[GraphMatcher],
+                 config: TrackerConfig = TrackerConfig(),
+                 batch_size: int = 64) -> None:
+        self.model = model
+        self.matcher = matcher
+        self.config = config
+        self.batch_size = batch_size
+        self._ema: Dict[Tuple[int, int], float] = {}
+        self._tracks: Dict[Tuple[int, int], Track] = {}
+        self._history: List[Track] = []
+        self._next_track_id = 0
+        self._frame = -1
+
+    # ------------------------------------------------------------------
+    def _cell_scores(self, scene: Scene) -> Dict[Tuple[int, int], float]:
+        windows = []
+        cells = []
+        for row, col, _bbox, window in scene.iter_cells():
+            windows.append(window)
+            cells.append((row, col))
+        predictions = predict_windows(self.model, np.stack(windows),
+                                      batch_size=self.batch_size)
+        objectness = 1.0 - predictions["class_probs"][:, background_class_id()]
+        if "task_probs" in predictions:
+            task_scores = predictions["task_probs"]
+        elif self.matcher is not None:
+            task_scores = self.matcher.match_distributions(
+                predictions["attribute_probs"]).score
+        else:
+            task_scores = np.ones_like(objectness)
+        combined = objectness * task_scores
+        return dict(zip(cells, combined))
+
+    # ------------------------------------------------------------------
+    def update(self, scene: Scene) -> List[Track]:
+        """Process one frame; returns the currently active tracks."""
+        self._frame += 1
+        cfg = self.config
+        raw = self._cell_scores(scene)
+        for cell, score in raw.items():
+            previous = self._ema.get(cell, score)
+            self._ema[cell] = cfg.smoothing * previous + (1 - cfg.smoothing) * float(score)
+
+        for cell, smoothed in self._ema.items():
+            track = self._tracks.get(cell)
+            if track is None or not track.active:
+                if smoothed >= cfg.on_threshold:
+                    track = Track(track_id=self._next_track_id, cell=cell,
+                                  first_frame=self._frame,
+                                  last_frame=self._frame, score=smoothed)
+                    self._next_track_id += 1
+                    self._tracks[cell] = track
+                    self._history.append(track)
+                continue
+            # active track: hysteresis
+            track.score = smoothed
+            if smoothed >= cfg.off_threshold:
+                track.last_frame = self._frame
+                track.missed = 0
+            else:
+                track.missed += 1
+                if track.missed > cfg.max_missed_frames:
+                    track.active = False
+        return self.active_tracks()
+
+    def active_tracks(self) -> List[Track]:
+        return [t for t in self._tracks.values() if t.active]
+
+    @property
+    def all_tracks(self) -> List[Track]:
+        return list(self._history)
+
+    def reset(self) -> None:
+        self._ema.clear()
+        self._tracks.clear()
+        self._history.clear()
+        self._next_track_id = 0
+        self._frame = -1

@@ -1,0 +1,75 @@
+"""Reverse-mode automatic differentiation on top of numpy.
+
+This subpackage is the numerical substrate for the whole reproduction: the
+vision transformer, the distillation losses, and quantization-aware training
+are all expressed through :class:`~repro.tensor.Tensor`.
+
+The engine is deliberately small and explicit: a :class:`Tensor` wraps a
+``numpy.ndarray`` and records the operations applied to it; calling
+:meth:`Tensor.backward` walks the recorded graph in reverse topological order
+and accumulates gradients.
+"""
+
+from repro.tensor.tensor import Tensor, no_grad, is_grad_enabled, tensor
+from repro.tensor import ops
+from repro.tensor.ops import (
+    cat,
+    stack,
+    where,
+    maximum,
+    minimum,
+    exp,
+    log,
+    sqrt,
+    tanh,
+    sigmoid,
+    relu,
+    gelu,
+    erf,
+    softmax,
+    log_softmax,
+    clip,
+    one_hot,
+    zeros,
+    ones,
+    full,
+    arange,
+    randn,
+    rand,
+    dropout_mask,
+)
+from repro.tensor.grad_check import check_gradient, numeric_gradient
+
+__all__ = [
+    "Tensor",
+    "tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "ops",
+    "cat",
+    "stack",
+    "where",
+    "maximum",
+    "minimum",
+    "exp",
+    "log",
+    "sqrt",
+    "tanh",
+    "sigmoid",
+    "relu",
+    "gelu",
+    "erf",
+    "softmax",
+    "log_softmax",
+    "clip",
+    "one_hot",
+    "zeros",
+    "ones",
+    "full",
+    "arange",
+    "randn",
+    "rand",
+    "dropout_mask",
+    "check_gradient",
+    "numeric_gradient",
+]

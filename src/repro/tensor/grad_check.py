@@ -1,0 +1,71 @@
+"""Finite-difference gradient verification.
+
+Used heavily by the test suite: every differentiable op in
+:mod:`repro.tensor` and every layer in :mod:`repro.nn` is validated against
+a central-difference approximation.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence, Tuple
+
+import numpy as np
+
+from repro.tensor.tensor import Tensor
+
+
+def numeric_gradient(
+    fn: Callable[..., Tensor],
+    inputs: Sequence[Tensor],
+    wrt: int = 0,
+    eps: float = 1e-4,
+) -> np.ndarray:
+    """Central-difference gradient of ``sum(fn(*inputs))`` w.r.t. one input.
+
+    ``fn`` must be deterministic; inputs are perturbed in float64 for
+    stability and restored afterwards.
+    """
+    target = inputs[wrt]
+    original = target.data.astype(np.float64).copy()
+    grad = np.zeros_like(original)
+    flat = original.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        saved = flat[i]
+        flat[i] = saved + eps
+        target.data = original.reshape(target.shape).astype(target.dtype)
+        plus = float(fn(*inputs).data.sum())
+        flat[i] = saved - eps
+        target.data = original.reshape(target.shape).astype(target.dtype)
+        minus = float(fn(*inputs).data.sum())
+        flat[i] = saved
+        grad_flat[i] = (plus - minus) / (2.0 * eps)
+    target.data = original.reshape(target.shape).astype(target.dtype)
+    return grad
+
+
+def check_gradient(
+    fn: Callable[..., Tensor],
+    inputs: Sequence[Tensor],
+    wrt: int = 0,
+    eps: float = 1e-4,
+    atol: float = 1e-2,
+    rtol: float = 1e-2,
+) -> Tuple[bool, float]:
+    """Compare autograd and numeric gradients.
+
+    Returns ``(ok, max_abs_error)``.  Tolerances are loose because the
+    engine computes in float32.
+    """
+    for t in inputs:
+        t.grad = None
+    out = fn(*inputs)
+    out.backward(np.ones_like(out.data))
+    analytic = inputs[wrt].grad
+    if analytic is None:
+        raise AssertionError("autograd produced no gradient for the requested input")
+    numeric = numeric_gradient(fn, inputs, wrt=wrt, eps=eps)
+    err = np.abs(analytic.astype(np.float64) - numeric)
+    tol = atol + rtol * np.abs(numeric)
+    ok = bool((err <= tol).all())
+    return ok, float(err.max(initial=0.0))

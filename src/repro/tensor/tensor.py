@@ -1,0 +1,521 @@
+"""Core :class:`Tensor` type with reverse-mode automatic differentiation.
+
+The implementation follows the classic tape-based design: every operation
+that produces a new :class:`Tensor` stores its parents and a closure that
+propagates the output gradient to the parents.  ``backward()`` performs a
+depth-first topological sort and runs the closures in reverse order.
+
+Broadcasting is fully supported; gradients flowing into a broadcast operand
+are reduced back to the operand's shape by :func:`_unbroadcast`.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+DEFAULT_DTYPE = np.float32
+
+Scalar = Union[int, float, np.integer, np.floating]
+TensorLike = Union["Tensor", np.ndarray, Scalar, Sequence]
+
+_grad_state = threading.local()
+
+
+def is_grad_enabled() -> bool:
+    """Return whether operations currently record gradient information."""
+    return getattr(_grad_state, "enabled", True)
+
+
+@contextlib.contextmanager
+def no_grad():
+    """Context manager that disables gradient recording.
+
+    Inside the block every produced :class:`Tensor` has
+    ``requires_grad=False`` and no graph edges are created.  Used for
+    inference, calibration, and parameter updates.
+    """
+    previous = is_grad_enabled()
+    _grad_state.enabled = False
+    try:
+        yield
+    finally:
+        _grad_state.enabled = previous
+
+
+def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+    """Reduce ``grad`` so its shape matches ``shape`` after broadcasting.
+
+    numpy broadcasting aligns shapes from the right; any leading axes added
+    by broadcasting are summed away, and any axis of size one that was
+    stretched is summed with ``keepdims``.
+    """
+    if grad.shape == shape:
+        return grad
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    axes = tuple(i for i, dim in enumerate(shape) if dim == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+def _as_array(value: TensorLike, dtype=DEFAULT_DTYPE) -> np.ndarray:
+    if isinstance(value, Tensor):
+        return value.data
+    return np.asarray(value, dtype=dtype)
+
+
+class Tensor:
+    """A numpy-backed array participating in automatic differentiation.
+
+    Parameters
+    ----------
+    data:
+        Anything ``numpy.asarray`` accepts.  Stored as ``float32`` unless an
+        explicit dtype is given.
+    requires_grad:
+        Whether this tensor is a leaf whose gradient should be accumulated.
+    """
+
+    __slots__ = (
+        "data",
+        "grad",
+        "requires_grad",
+        "_backward",
+        "_parents",
+        "name",
+        "_accumulate_target",
+    )
+
+    def __init__(
+        self,
+        data: TensorLike,
+        requires_grad: bool = False,
+        dtype=DEFAULT_DTYPE,
+        name: Optional[str] = None,
+    ) -> None:
+        if isinstance(data, Tensor):
+            data = data.data
+        self.data: np.ndarray = np.asarray(data, dtype=dtype)
+        self.grad: Optional[np.ndarray] = None
+        self.requires_grad: bool = bool(requires_grad) and is_grad_enabled()
+        self._backward: Optional[Callable[[np.ndarray], None]] = None
+        self._parents: Tuple["Tensor", ...] = ()
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def from_op(
+        data: np.ndarray,
+        parents: Iterable["Tensor"],
+        backward: Callable[[np.ndarray], None],
+    ) -> "Tensor":
+        """Create a non-leaf tensor produced by an operation.
+
+        When gradients are disabled, or no parent requires a gradient, the
+        result is detached and ``backward`` is dropped, keeping inference
+        allocation-light.
+        """
+        parents = tuple(parents)
+        needs_grad = is_grad_enabled() and any(p.requires_grad for p in parents)
+        out = Tensor(data, requires_grad=needs_grad, dtype=data.dtype)
+        if needs_grad:
+            out._parents = parents
+            out._backward = backward
+        return out
+
+    # ------------------------------------------------------------------
+    # basic introspection
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def dtype(self):
+        return self.data.dtype
+
+    @property
+    def T(self) -> "Tensor":
+        return self.transpose()
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        grad_flag = ", requires_grad=True" if self.requires_grad else ""
+        label = f", name={self.name!r}" if self.name else ""
+        return f"Tensor(shape={self.shape}{grad_flag}{label})"
+
+    def item(self) -> float:
+        return float(self.data.item())
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying array (not a copy)."""
+        return self.data
+
+    def detach(self) -> "Tensor":
+        """Return a view of the data cut off from the autograd graph."""
+        return Tensor(self.data, requires_grad=False, dtype=self.data.dtype)
+
+    def copy(self) -> "Tensor":
+        return Tensor(self.data.copy(), requires_grad=False, dtype=self.data.dtype)
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    # ------------------------------------------------------------------
+    # autograd driver
+    # ------------------------------------------------------------------
+    def backward(self, grad: Optional[np.ndarray] = None) -> None:
+        """Backpropagate from this tensor through the recorded graph.
+
+        Parameters
+        ----------
+        grad:
+            Incoming gradient.  Defaults to ones, which is the usual choice
+            for scalar losses.
+        """
+        if not self.requires_grad:
+            raise RuntimeError("backward() called on a tensor that does not require grad")
+        if grad is None:
+            grad = np.ones_like(self.data)
+        else:
+            grad = np.asarray(grad, dtype=self.data.dtype)
+            if grad.shape != self.data.shape:
+                raise ValueError(
+                    f"gradient shape {grad.shape} does not match tensor shape {self.data.shape}"
+                )
+
+        order: List[Tensor] = []
+        visited = set()
+        stack: List[Tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                order.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if id(parent) not in visited:
+                    stack.append((parent, False))
+
+        grads = {id(self): grad}
+        for node in reversed(order):
+            node_grad = grads.pop(id(node), None)
+            if node_grad is None:
+                continue
+            if node._backward is None:
+                # Leaf: accumulate into .grad.
+                if node.requires_grad:
+                    if node.grad is None:
+                        node.grad = node_grad.astype(node.data.dtype, copy=True)
+                    else:
+                        node.grad = node.grad + node_grad
+                continue
+            # Interior node: route gradient to parents via the closure.
+            # The closure writes into a per-call accumulation dict through
+            # the `accumulate` helper captured below.
+            node._accumulate_target = grads  # type: ignore[attr-defined]
+            try:
+                node._backward(node_grad)
+            finally:
+                del node._accumulate_target  # type: ignore[attr-defined]
+            if node.requires_grad and node is not self and node.grad is not None:
+                pass
+
+    def _send(self, parent: "Tensor", grad: np.ndarray) -> None:
+        """Accumulate ``grad`` for ``parent`` during an active backward pass."""
+        if not parent.requires_grad and parent._backward is None:
+            return
+        target = getattr(self, "_accumulate_target", None)
+        if target is None:  # pragma: no cover - defensive
+            raise RuntimeError("_send called outside backward()")
+        key = id(parent)
+        if key in target:
+            target[key] = target[key] + grad
+        else:
+            target[key] = grad
+
+    # ------------------------------------------------------------------
+    # arithmetic
+    # ------------------------------------------------------------------
+    def __add__(self, other: TensorLike) -> "Tensor":
+        other_t = other if isinstance(other, Tensor) else Tensor(_as_array(other, self.dtype))
+        data = self.data + other_t.data
+
+        def backward(grad: np.ndarray, self_=self, other_=other_t) -> None:
+            out._send(self_, _unbroadcast(grad, self_.shape))
+            out._send(other_, _unbroadcast(grad, other_.shape))
+
+        out = Tensor.from_op(data, (self, other_t), backward)
+        return out
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Tensor":
+        data = -self.data
+
+        def backward(grad: np.ndarray) -> None:
+            out._send(self, -grad)
+
+        out = Tensor.from_op(data, (self,), backward)
+        return out
+
+    def __sub__(self, other: TensorLike) -> "Tensor":
+        return self + (-_ensure_tensor(other, self.dtype))
+
+    def __rsub__(self, other: TensorLike) -> "Tensor":
+        return _ensure_tensor(other, self.dtype) + (-self)
+
+    def __mul__(self, other: TensorLike) -> "Tensor":
+        other_t = _ensure_tensor(other, self.dtype)
+        data = self.data * other_t.data
+
+        def backward(grad: np.ndarray, self_=self, other_=other_t) -> None:
+            out._send(self_, _unbroadcast(grad * other_.data, self_.shape))
+            out._send(other_, _unbroadcast(grad * self_.data, other_.shape))
+
+        out = Tensor.from_op(data, (self, other_t), backward)
+        return out
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: TensorLike) -> "Tensor":
+        other_t = _ensure_tensor(other, self.dtype)
+        data = self.data / other_t.data
+
+        def backward(grad: np.ndarray, self_=self, other_=other_t) -> None:
+            out._send(self_, _unbroadcast(grad / other_.data, self_.shape))
+            out._send(
+                other_,
+                _unbroadcast(-grad * self_.data / (other_.data ** 2), other_.shape),
+            )
+
+        out = Tensor.from_op(data, (self, other_t), backward)
+        return out
+
+    def __rtruediv__(self, other: TensorLike) -> "Tensor":
+        return _ensure_tensor(other, self.dtype) / self
+
+    def __pow__(self, exponent: Scalar) -> "Tensor":
+        if not np.isscalar(exponent):
+            raise TypeError("only scalar exponents are supported")
+        data = self.data ** exponent
+
+        def backward(grad: np.ndarray) -> None:
+            out._send(self, grad * exponent * self.data ** (exponent - 1))
+
+        out = Tensor.from_op(data, (self,), backward)
+        return out
+
+    def __matmul__(self, other: TensorLike) -> "Tensor":
+        other_t = _ensure_tensor(other, self.dtype)
+        data = self.data @ other_t.data
+
+        def backward(grad: np.ndarray, a=self, b=other_t) -> None:
+            a_data, b_data = a.data, b.data
+            if a_data.ndim == 1 and b_data.ndim == 1:
+                out._send(a, grad * b_data)
+                out._send(b, grad * a_data)
+                return
+            if a_data.ndim == 1:
+                # (k,) @ (..., k, n) -> (..., n)
+                grad_a = (grad[..., None, :] * b_data).sum(axis=-1)
+                out._send(a, _unbroadcast(grad_a, a.shape))
+                grad_b = a_data[:, None] * grad[..., None, :]
+                out._send(b, _unbroadcast(grad_b, b.shape))
+                return
+            if b_data.ndim == 1:
+                # (..., m, k) @ (k,) -> (..., m)
+                grad_a = grad[..., :, None] * b_data
+                out._send(a, _unbroadcast(grad_a, a.shape))
+                grad_b = (grad[..., :, None] * a_data).sum(axis=tuple(range(grad.ndim)))
+                out._send(b, _unbroadcast(grad_b.reshape(b.shape), b.shape))
+                return
+            grad_a = grad @ np.swapaxes(b_data, -1, -2)
+            grad_b = np.swapaxes(a_data, -1, -2) @ grad
+            out._send(a, _unbroadcast(grad_a, a.shape))
+            out._send(b, _unbroadcast(grad_b, b.shape))
+
+        out = Tensor.from_op(data, (self, other_t), backward)
+        return out
+
+    def __rmatmul__(self, other: TensorLike) -> "Tensor":
+        return _ensure_tensor(other, self.dtype) @ self
+
+    # comparisons produce detached boolean/float arrays (no gradient)
+    def __gt__(self, other: TensorLike) -> np.ndarray:
+        return self.data > _as_array(other, self.dtype)
+
+    def __lt__(self, other: TensorLike) -> np.ndarray:
+        return self.data < _as_array(other, self.dtype)
+
+    def __ge__(self, other: TensorLike) -> np.ndarray:
+        return self.data >= _as_array(other, self.dtype)
+
+    def __le__(self, other: TensorLike) -> np.ndarray:
+        return self.data <= _as_array(other, self.dtype)
+
+    # ------------------------------------------------------------------
+    # shape manipulation
+    # ------------------------------------------------------------------
+    def reshape(self, *shape) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        data = self.data.reshape(shape)
+
+        def backward(grad: np.ndarray) -> None:
+            out._send(self, grad.reshape(self.shape))
+
+        out = Tensor.from_op(data, (self,), backward)
+        return out
+
+    def flatten(self, start_dim: int = 0) -> "Tensor":
+        shape = self.shape[:start_dim] + (-1,)
+        return self.reshape(*shape)
+
+    def transpose(self, axis1: int = -2, axis2: int = -1) -> "Tensor":
+        if self.ndim < 2:
+            return self.reshape(self.shape)
+        data = np.swapaxes(self.data, axis1, axis2)
+
+        def backward(grad: np.ndarray) -> None:
+            out._send(self, np.swapaxes(grad, axis1, axis2))
+
+        out = Tensor.from_op(data, (self,), backward)
+        return out
+
+    def permute(self, *axes) -> "Tensor":
+        if len(axes) == 1 and isinstance(axes[0], (tuple, list)):
+            axes = tuple(axes[0])
+        data = np.transpose(self.data, axes)
+        inverse = np.argsort(axes)
+
+        def backward(grad: np.ndarray) -> None:
+            out._send(self, np.transpose(grad, inverse))
+
+        out = Tensor.from_op(data, (self,), backward)
+        return out
+
+    def __getitem__(self, index) -> "Tensor":
+        data = self.data[index]
+        index_parts = index if isinstance(index, tuple) else (index,)
+        basic = all(
+            isinstance(part, (int, np.integer, slice, type(None), type(Ellipsis)))
+            for part in index_parts
+        )
+
+        def backward(grad: np.ndarray) -> None:
+            full_grad = np.zeros_like(self.data)
+            if basic:
+                # Basic indexing never selects an element twice, so plain
+                # assignment is safe and much faster than np.add.at.
+                full_grad[index] = grad
+            else:
+                np.add.at(full_grad, index, grad)
+            out._send(self, full_grad)
+
+        out = Tensor.from_op(np.ascontiguousarray(data), (self,), backward)
+        return out
+
+    def pad2d(self, pad: Tuple[int, int, int, int]) -> "Tensor":
+        """Zero-pad the last two axes by ``(top, bottom, left, right)``."""
+        top, bottom, left, right = pad
+        width = [(0, 0)] * (self.ndim - 2) + [(top, bottom), (left, right)]
+        data = np.pad(self.data, width)
+
+        def backward(grad: np.ndarray) -> None:
+            slices = [slice(None)] * (self.ndim - 2)
+            slices.append(slice(top, grad.shape[-2] - bottom or None))
+            slices.append(slice(left, grad.shape[-1] - right or None))
+            out._send(self, grad[tuple(slices)])
+
+        out = Tensor.from_op(data, (self,), backward)
+        return out
+
+    # ------------------------------------------------------------------
+    # reductions
+    # ------------------------------------------------------------------
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        data = self.data.sum(axis=axis, keepdims=keepdims)
+
+        def backward(grad: np.ndarray) -> None:
+            g = grad
+            if axis is not None and not keepdims:
+                g = np.expand_dims(g, axis)
+            out._send(self, np.broadcast_to(g, self.shape).astype(self.dtype))
+
+        out = Tensor.from_op(np.asarray(data), (self,), backward)
+        return out
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        if axis is None:
+            count = self.size
+        else:
+            axes = axis if isinstance(axis, tuple) else (axis,)
+            count = int(np.prod([self.shape[a] for a in axes]))
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def var(self, axis=None, keepdims: bool = False) -> "Tensor":
+        centered = self - self.mean(axis=axis, keepdims=True)
+        return (centered * centered).mean(axis=axis, keepdims=keepdims)
+
+    def max(self, axis=None, keepdims: bool = False) -> "Tensor":
+        data = self.data.max(axis=axis, keepdims=keepdims)
+
+        def backward(grad: np.ndarray) -> None:
+            expanded = self.data.max(axis=axis, keepdims=True)
+            mask = (self.data == expanded).astype(self.dtype)
+            mask /= mask.sum(axis=axis, keepdims=True)
+            g = grad
+            if axis is not None and not keepdims:
+                g = np.expand_dims(g, axis)
+            out._send(self, mask * g)
+
+        out = Tensor.from_op(np.asarray(data), (self,), backward)
+        return out
+
+    def min(self, axis=None, keepdims: bool = False) -> "Tensor":
+        return -((-self).max(axis=axis, keepdims=keepdims))
+
+    def argmax(self, axis=None) -> np.ndarray:
+        return self.data.argmax(axis=axis)
+
+    def abs(self) -> "Tensor":
+        data = np.abs(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            out._send(self, grad * np.sign(self.data))
+
+        out = Tensor.from_op(data, (self,), backward)
+        return out
+
+
+def _ensure_tensor(value: TensorLike, dtype=DEFAULT_DTYPE) -> Tensor:
+    if isinstance(value, Tensor):
+        return value
+    return Tensor(np.asarray(value, dtype=dtype))
+
+
+def tensor(data: TensorLike, requires_grad: bool = False, dtype=DEFAULT_DTYPE) -> Tensor:
+    """Convenience constructor mirroring ``torch.tensor``."""
+    return Tensor(data, requires_grad=requires_grad, dtype=dtype)

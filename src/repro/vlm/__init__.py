@@ -1,0 +1,27 @@
+"""Vision-language baseline: what iTask replaces.
+
+The paper motivates iTask as an efficient alternative to vision-language
+models for task-oriented detection.  This package implements that
+comparator: a compact CLIP-style two-tower model — a transformer text
+encoder over mission descriptions and a ViT image encoder over windows,
+trained contrastively so that a window embeds close to the text of every
+mission it is relevant to.  Zero-shot task detection is then cosine
+similarity between the mission embedding and each window embedding.
+
+The E9 benchmark compares this baseline against the iTask pipeline on
+both accuracy (including unseen missions) and compute cost (FLOPs,
+modelled edge latency) — the trade-off the paper's introduction argues.
+"""
+
+from repro.vlm.tokenizer import Tokenizer
+from repro.vlm.model import TwoTowerVLM, VLMConfig
+from repro.vlm.trainer import VLMTrainer, VLMTrainingConfig, build_vlm_pairs
+
+__all__ = [
+    "Tokenizer",
+    "TwoTowerVLM",
+    "VLMConfig",
+    "VLMTrainer",
+    "VLMTrainingConfig",
+    "build_vlm_pairs",
+]

@@ -1,0 +1,59 @@
+"""Word-level tokenizer for mission descriptions.
+
+The vocabulary is built from a text corpus (the mission library plus the
+attribute ontology, by default) with special tokens for padding and
+unknown words.  Deliberately simple — the point of the VLM baseline is
+its architecture and cost, not subword engineering.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.data.ontology import ATTRIBUTE_FAMILIES
+from repro.data.tasks import TASK_LIBRARY
+
+PAD = "<pad>"
+UNK = "<unk>"
+
+
+def _words(text: str) -> List[str]:
+    return re.findall(r"[a-z]+", text.lower())
+
+
+class Tokenizer:
+    """Fixed-vocabulary word tokenizer with padding/truncation."""
+
+    def __init__(self, corpus: Optional[Iterable[str]] = None,
+                 max_length: int = 40) -> None:
+        if corpus is None:
+            corpus = [task.mission_text for task in TASK_LIBRARY.values()]
+            corpus += [" ".join(values) for values in ATTRIBUTE_FAMILIES.values()]
+        vocab: Dict[str, int] = {PAD: 0, UNK: 1}
+        for text in corpus:
+            for word in _words(text):
+                if word not in vocab:
+                    vocab[word] = len(vocab)
+        self.vocab = vocab
+        self.max_length = max_length
+
+    @property
+    def vocab_size(self) -> int:
+        return len(self.vocab)
+
+    @property
+    def pad_id(self) -> int:
+        return self.vocab[PAD]
+
+    def encode(self, text: str) -> np.ndarray:
+        """Tokenize to a fixed-length id array (padded/truncated)."""
+        ids = [self.vocab.get(word, self.vocab[UNK]) for word in _words(text)]
+        ids = ids[: self.max_length]
+        ids += [self.pad_id] * (self.max_length - len(ids))
+        return np.asarray(ids, dtype=np.int64)
+
+    def encode_batch(self, texts: Sequence[str]) -> np.ndarray:
+        return np.stack([self.encode(t) for t in texts])

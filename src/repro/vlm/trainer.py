@@ -1,0 +1,101 @@
+"""Contrastive training of the two-tower VLM.
+
+Training pairs: (window, mission text) where the window's object
+satisfies the mission's predicate.  A batch holds one window per distinct
+mission (so the in-batch negatives are other missions' texts), and the
+symmetric InfoNCE objective pulls matched pairs together — exactly the
+CLIP recipe at miniature scale.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.data import build_task_windows
+from repro.data.tasks import TASK_LIBRARY, TaskDefinition
+from repro.nn import cross_entropy
+from repro.optim import AdamW, WarmupCosineSchedule, clip_grad_norm
+from repro.tensor import Tensor
+from repro.vlm.model import TwoTowerVLM
+
+
+@dataclasses.dataclass
+class VLMTrainingConfig:
+    steps: int = 400
+    batch_tasks: int = 6          # distinct missions per batch
+    learning_rate: float = 1e-3
+    weight_decay: float = 0.01
+    warmup_fraction: float = 0.1
+    grad_clip: float = 1.0
+    seed: int = 0
+
+
+def build_vlm_pairs(
+    tasks: Sequence[TaskDefinition],
+    seed: int = 0,
+    positives_per_task: int = 120,
+) -> Dict[str, np.ndarray]:
+    """Positive window pools per mission (images only)."""
+    pools: Dict[str, np.ndarray] = {}
+    for i, task in enumerate(tasks):
+        dataset = build_task_windows(task, seed=seed + i,
+                                     num_positive=positives_per_task,
+                                     num_negative=positives_per_task // 4)
+        positives = dataset.images[dataset.task_labels > 0.5]
+        pools[task.name] = positives
+    return pools
+
+
+class VLMTrainer:
+    """InfoNCE training loop."""
+
+    def __init__(self, model: TwoTowerVLM, tasks: Sequence[TaskDefinition],
+                 config: VLMTrainingConfig = VLMTrainingConfig()) -> None:
+        if len(tasks) < 2:
+            raise ValueError("contrastive training needs at least two missions")
+        self.model = model
+        self.tasks = list(tasks)
+        self.config = config
+        self.history: List[float] = []
+        self._pools = build_vlm_pairs(self.tasks, seed=config.seed)
+        self._texts = {task.name: task.mission_text for task in self.tasks}
+
+    def _sample_batch(self, rng: np.random.Generator) -> Tuple[np.ndarray, np.ndarray]:
+        count = min(self.config.batch_tasks, len(self.tasks))
+        chosen = rng.choice(len(self.tasks), size=count, replace=False)
+        images, texts = [], []
+        for idx in chosen:
+            task = self.tasks[int(idx)]
+            pool = self._pools[task.name]
+            images.append(pool[int(rng.integers(len(pool)))])
+            texts.append(self._texts[task.name])
+        token_ids = self.model.tokenizer.encode_batch(texts)
+        return np.stack(images), token_ids
+
+    def train(self) -> List[float]:
+        cfg = self.config
+        rng = np.random.default_rng(cfg.seed)
+        optimizer = AdamW(self.model.parameters(), lr=cfg.learning_rate,
+                          weight_decay=cfg.weight_decay)
+        schedule = WarmupCosineSchedule(
+            cfg.learning_rate, cfg.steps,
+            warmup_steps=int(cfg.steps * cfg.warmup_fraction))
+        self.model.train()
+        for step in range(cfg.steps):
+            schedule.apply(optimizer, step)
+            images, token_ids = self._sample_batch(rng)
+            logits = self.model.similarity_logits(Tensor(images), token_ids)
+            targets = np.arange(logits.shape[0])
+            loss = (cross_entropy(logits, targets)
+                    + cross_entropy(logits.T, targets)) * 0.5
+            self.model.zero_grad()
+            loss.backward()
+            if cfg.grad_clip > 0:
+                clip_grad_norm(self.model.parameters(), cfg.grad_clip)
+            optimizer.step()
+            self.history.append(loss.item())
+        self.model.eval()
+        return self.history

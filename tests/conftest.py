@@ -1,0 +1,44 @@
+"""Shared fixtures: tiny datasets and models sized for fast unit tests."""
+
+import numpy as np
+import pytest
+
+from repro.data import attribute_head_spec, build_window_dataset
+from repro.data.datasets import num_classes
+from repro.nn import VisionTransformer, ViTConfig
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset():
+    """Small mixed window dataset (reused read-only across tests)."""
+    return build_window_dataset(
+        seed=11, num_category_objects=40, num_distractors=12, num_background=12,
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_vit_config():
+    return ViTConfig.tiny(num_classes=num_classes(),
+                          attribute_heads=attribute_head_spec())
+
+
+@pytest.fixture()
+def tiny_vit(tiny_vit_config):
+    model = VisionTransformer(tiny_vit_config, rng=np.random.default_rng(7))
+    model.eval()
+    return model
+
+
+@pytest.fixture(scope="session")
+def student_vit():
+    """A deterministic untrained student-sized ViT at full window size."""
+    config = ViTConfig.student(num_classes=num_classes(),
+                               attribute_heads=attribute_head_spec())
+    model = VisionTransformer(config, rng=np.random.default_rng(3))
+    model.eval()
+    return model

@@ -1,0 +1,108 @@
+"""CLI commands, graph visualization, and PPM image IO."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.data import SceneConfig, SceneGenerator, get_task
+from repro.data.io import draw_box, export_scene, read_ppm, to_uint8, write_ppm
+from repro.kg import Constraint, ConstraintKind, KnowledgeGraph, SimulatedLLM
+from repro.kg.visualize import render_ascii, render_dot
+
+
+class TestVisualize:
+    @pytest.fixture(scope="class")
+    def kg(self):
+        return SimulatedLLM().generate_for_task(get_task("valve_inspection"))
+
+    def test_ascii_mentions_constraints(self, kg):
+        text = render_ascii(kg)
+        assert "valve_inspection" in text
+        assert "color" in text and "blue" in text
+        assert "must be" in text
+
+    def test_ascii_empty_graph(self):
+        text = render_ascii(KnowledgeGraph("empty"))
+        assert "no constraints" in text
+
+    def test_excludes_rendered_differently(self):
+        kg = KnowledgeGraph("t")
+        kg.add_constraint(Constraint(ConstraintKind.EXCLUDES, "size",
+                                     frozenset({"small"}), 1.0))
+        assert "must NOT be" in render_ascii(kg)
+
+    def test_dot_is_valid_structure(self, kg):
+        dot = render_dot(kg)
+        assert dot.startswith("digraph")
+        assert dot.rstrip().endswith("}")
+        assert '"task"' in dot and "requires" in dot
+
+
+class TestImageIO:
+    def test_to_uint8_range(self):
+        image = np.random.default_rng(0).random((3, 8, 8)).astype(np.float32)
+        pixels = to_uint8(image)
+        assert pixels.shape == (8, 8, 3)
+        assert pixels.dtype == np.uint8
+
+    def test_to_uint8_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            to_uint8(np.zeros((8, 8)))
+
+    def test_ppm_roundtrip(self, tmp_path):
+        image = np.random.default_rng(1).random((3, 16, 12)).astype(np.float32)
+        path = str(tmp_path / "img.ppm")
+        write_ppm(image, path)
+        restored = read_ppm(path)
+        assert restored.shape == image.shape
+        assert np.abs(restored - np.clip(image, 0, 1)).max() <= 1.0 / 255 + 1e-6
+
+    def test_read_rejects_non_ppm(self, tmp_path):
+        path = tmp_path / "fake.ppm"
+        path.write_bytes(b"JUNK")
+        with pytest.raises(ValueError):
+            read_ppm(str(path))
+
+    def test_draw_box_marks_outline(self):
+        image = np.zeros((3, 20, 20), np.float32)
+        boxed = draw_box(image, (5, 5, 15, 15), color=(1.0, 0.0, 0.0))
+        assert boxed[0, 5, 10] == 1.0       # top edge
+        assert boxed[0, 10, 5] == 1.0       # left edge
+        assert boxed[0, 10, 10] == 0.0      # interior untouched
+        assert image.max() == 0.0           # original untouched
+
+    def test_export_scene(self, tmp_path):
+        scene = SceneGenerator(SceneConfig(), seed=0).generate()
+        path = str(tmp_path / "scene.ppm")
+        export_scene(scene, path)
+        restored = read_ppm(path)
+        assert restored.shape == scene.image.shape
+
+
+class TestCLI:
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_tasks_command(self, capsys):
+        assert main(["tasks"]) == 0
+        out = capsys.readouterr().out
+        assert "roadside_hazards" in out and "driving" in out
+
+    def test_graph_command(self, capsys):
+        assert main(["graph", "--task", "cargo_audit"]) == 0
+        out = capsys.readouterr().out
+        assert "cyan" in out
+
+    def test_graph_dot(self, capsys):
+        assert main(["graph", "--task", "cargo_audit", "--dot"]) == 0
+        assert capsys.readouterr().out.startswith("digraph")
+
+    def test_graph_unknown_task(self):
+        with pytest.raises(KeyError):
+            main(["graph", "--task", "nonexistent"])
+
+    def test_models_command(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_ARTIFACT_DIR", str(tmp_path))
+        assert main(["models"]) == 0
+        assert "empty" in capsys.readouterr().out

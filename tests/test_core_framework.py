@@ -1,0 +1,180 @@
+"""Core framework: task specs, selector policy, registry, pipeline wiring."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ConfigurationSelector,
+    ITaskPipeline,
+    ModelRegistry,
+    QuantizedConfiguration,
+    TaskSpec,
+    TaskSpecificConfiguration,
+    build_quantized_configuration,
+)
+from repro.data import SceneConfig, SceneGenerator, get_task, sample_profile
+from repro.kg import Constraint, ConstraintKind, KnowledgeGraph, SimulatedLLM
+
+
+@pytest.fixture(scope="module")
+def quantized_configuration(student_vit):
+    rng = np.random.default_rng(0)
+    calibration = rng.random((24, 3, 32, 32)).astype(np.float32)
+    return build_quantized_configuration(student_vit, calibration=calibration)
+
+
+def simple_kg(task_name, color):
+    kg = KnowledgeGraph(task_name)
+    kg.add_constraint(Constraint(ConstraintKind.REQUIRES, "color",
+                                 frozenset({color}), 1.0))
+    return kg
+
+
+class TestTaskSpec:
+    def test_from_definition(self):
+        task = get_task("cargo_audit")
+        spec = TaskSpec.from_definition(task)
+        assert spec.name == task.name
+        assert spec.mission_text == task.mission_text
+        assert spec.definition is task
+        assert spec.num_shots == 0
+
+    def test_with_support(self):
+        task = get_task("cargo_audit")
+        rng = np.random.default_rng(0)
+        pos = [sample_profile(rng) for _ in range(3)]
+        spec = TaskSpec.from_definition(task, support_positives=pos)
+        assert spec.num_shots == 3
+
+
+class TestSelector:
+    def test_selects_matching_specialist(self):
+        selector = ConfigurationSelector({"red_task": simple_kg("red_task", "red")})
+        decision = selector.select(simple_kg("query", "red"))
+        assert decision.kind == "task_specific"
+        assert decision.specialist_name == "red_task"
+        assert decision.similarity == pytest.approx(1.0)
+
+    def test_falls_back_when_dissimilar(self):
+        selector = ConfigurationSelector({"red_task": simple_kg("red_task", "red")})
+        decision = selector.select(simple_kg("query", "blue"))
+        assert decision.kind == "quantized"
+
+    def test_multi_task_forces_quantized(self):
+        selector = ConfigurationSelector({"red_task": simple_kg("red_task", "red")})
+        decision = selector.select(simple_kg("query", "red"), multi_task=True)
+        assert decision.kind == "quantized"
+        assert "multi-task" in decision.rationale
+
+    def test_latency_budget_forces_quantized(self):
+        selector = ConfigurationSelector(
+            {"red_task": simple_kg("red_task", "red")},
+            accelerator_latency_ms=0.05, specialist_latency_ms=5.0,
+        )
+        decision = selector.select(simple_kg("query", "red"),
+                                   latency_budget_ms=1.0)
+        assert decision.kind == "quantized"
+        assert "latency" in decision.rationale
+
+    def test_no_specialists(self):
+        decision = ConfigurationSelector().select(simple_kg("q", "red"))
+        assert decision.kind == "quantized"
+
+    def test_register_specialist(self):
+        selector = ConfigurationSelector()
+        selector.register_specialist("t", simple_kg("t", "cyan"))
+        name, sim = selector.best_specialist(simple_kg("q", "cyan"))
+        assert name == "t" and sim == pytest.approx(1.0)
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            ConfigurationSelector(similarity_threshold=1.5)
+
+
+class TestRegistry:
+    def test_save_load_roundtrip(self, tmp_path, student_vit):
+        registry = ModelRegistry(str(tmp_path))
+        registry.save("demo", student_vit, extra={"note": "test"})
+        assert registry.exists("demo")
+        loaded = registry.load("demo")
+        rng = np.random.default_rng(0)
+        x = rng.random((2, 3, 32, 32)).astype(np.float32)
+        from repro.tensor import Tensor, no_grad
+
+        with no_grad():
+            a = student_vit(Tensor(x))["class_logits"].data
+            b = loaded(Tensor(x))["class_logits"].data
+        np.testing.assert_allclose(a, b, atol=1e-6)
+
+    def test_names_and_metadata(self, tmp_path, student_vit):
+        registry = ModelRegistry(str(tmp_path))
+        registry.save("alpha", student_vit)
+        registry.save("beta", student_vit)
+        assert registry.names() == ["alpha", "beta"]
+        assert registry.metadata("alpha")["dim"] == student_vit.config.dim
+
+    def test_missing_model(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            ModelRegistry(str(tmp_path)).load("ghost")
+
+
+class TestPipeline:
+    def test_prepare_uses_quantized_without_specialists(self, quantized_configuration):
+        pipeline = ITaskPipeline(quantized_configuration)
+        spec = TaskSpec.from_definition(get_task("valve_inspection"))
+        result = pipeline.prepare(spec)
+        assert result.decision.kind == "quantized"
+        assert result.configuration is quantized_configuration
+        assert result.kg.get(ConstraintKind.REQUIRES, "color") is not None
+
+    def test_specialist_selected_when_registered(self, quantized_configuration,
+                                                 student_vit):
+        task = get_task("valve_inspection")
+        pipeline = ITaskPipeline(quantized_configuration)
+        specialist = TaskSpecificConfiguration(
+            name="spec", kind="task_specific", student=student_vit,
+            task_name=task.name,
+        )
+        kg = SimulatedLLM().generate_for_task(task)
+        pipeline.register_specialist(task.name, specialist, kg)
+        result = pipeline.prepare(TaskSpec.from_definition(task))
+        assert result.decision.kind == "task_specific"
+        assert result.configuration is specialist
+
+    def test_kg_ablation_disables_matcher(self, quantized_configuration):
+        pipeline = ITaskPipeline(quantized_configuration, use_kg=False)
+        result = pipeline.prepare(TaskSpec.from_definition(get_task("cargo_audit")))
+        assert result.detector.matcher is None
+
+    def test_refinement_uses_support(self, quantized_configuration):
+        from repro.kg import LLMNoiseConfig
+
+        task = get_task("valve_inspection")
+        rng = np.random.default_rng(0)
+        positives = [sample_profile(rng, fixed=dict(task.predicate.allowed and {
+            "color": "blue", "shape": "ring", "size": "medium"})) for _ in range(6)]
+        noisy_llm = SimulatedLLM(LLMNoiseConfig(omission_rate=1.0, seed=0))
+        pipeline = ITaskPipeline(quantized_configuration, llm=noisy_llm)
+        spec = TaskSpec.from_definition(task, support_positives=positives,
+                                        support_negatives=[
+                                            sample_profile(rng, fixed={"color": "green"})
+                                            for _ in range(6)])
+        result = pipeline.prepare(spec)
+        # the fully-omitted graph was repaired from support examples
+        assert len(result.kg) > 0
+
+    def test_detect_and_evaluate(self, quantized_configuration):
+        pipeline = ITaskPipeline(quantized_configuration)
+        task = get_task("roadside_hazards")
+        scenes = SceneGenerator(SceneConfig(), seed=9).generate_batch(2)
+        spec = TaskSpec.from_definition(task)
+        detections = pipeline.detect(spec, scenes[0])
+        assert isinstance(detections, list)
+        accuracy = pipeline.evaluate(spec, scenes)
+        assert 0.0 <= accuracy <= 1.0
+
+    def test_evaluate_requires_definition(self, quantized_configuration):
+        pipeline = ITaskPipeline(quantized_configuration)
+        spec = TaskSpec(name="adhoc", mission_text="find red markers")
+        with pytest.raises(ValueError):
+            pipeline.evaluate(spec, [])

@@ -1,0 +1,89 @@
+"""Cross-module property tests (hypothesis): invariants that must hold
+for *any* model configuration, not just the presets."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.data.datasets import num_classes
+from repro.hw import AcceleratorConfig, Compiler, GemmOp, Simulator
+from repro.nn import VisionTransformer, ViTConfig
+from repro.quant import QuantSpec, quantize_vit
+
+
+def vit_configs():
+    """Random small-but-valid ViT configurations."""
+    return st.builds(
+        lambda dim_heads, depth, mlp, task_head: ViTConfig(
+            image_size=32, patch_size=8,
+            dim=dim_heads[0], num_heads=dim_heads[1], depth=depth,
+            mlp_ratio=mlp, num_classes=num_classes(),
+            with_task_head=task_head,
+        ),
+        dim_heads=st.sampled_from([(16, 2), (24, 4), (32, 2), (48, 4)]),
+        depth=st.integers(min_value=1, max_value=3),
+        mlp=st.sampled_from([1.0, 2.0]),
+        task_head=st.booleans(),
+    )
+
+
+@settings(max_examples=8, deadline=None)
+@given(vit_configs())
+def test_compiled_macs_equal_analytic_flops(config):
+    """For any architecture, the compiler's MAC ledger matches the
+    model's analytic count — no op silently dropped or double-counted."""
+    model = VisionTransformer(config, rng=np.random.default_rng(0))
+    calibration = np.random.default_rng(1).random((4, 3, 32, 32)).astype(np.float32)
+    quantized = quantize_vit(model, calibration)
+    program = Compiler(AcceleratorConfig.edge_default()).compile(quantized)
+    assert program.total_macs() == model.flops_per_image()
+
+
+@settings(max_examples=6, deadline=None)
+@given(vit_configs(), st.sampled_from([1, 2, 4]))
+def test_simulator_latency_positive_and_batch_monotone(config, batch):
+    model = VisionTransformer(config, rng=np.random.default_rng(0))
+    calibration = np.random.default_rng(1).random((4, 3, 32, 32)).astype(np.float32)
+    quantized = quantize_vit(model, calibration)
+    accel = AcceleratorConfig.edge_default()
+    sim = Simulator(accel)
+    small = sim.simulate(Compiler(accel).compile(quantized, batch=batch))
+    big = sim.simulate(Compiler(accel).compile(quantized, batch=batch * 2))
+    assert 0 < small.latency_s < big.latency_s
+    # throughput never degrades with batching on this workload
+    assert (big.throughput_inferences_per_s
+            >= small.throughput_inferences_per_s * 0.99)
+
+
+@settings(max_examples=6, deadline=None)
+@given(vit_configs())
+def test_quantized_forward_matches_float_argmax_mostly(config):
+    """w8a8 quantization must preserve most hard predictions for any
+    architecture (untrained weights — the hardest case for calibration)."""
+    from repro.tensor import Tensor, no_grad
+
+    model = VisionTransformer(config, rng=np.random.default_rng(2))
+    images = np.random.default_rng(3).random((12, 3, 32, 32)).astype(np.float32)
+    quantized = quantize_vit(model, images)
+    with no_grad():
+        float_pred = model(Tensor(images))["class_logits"].data.argmax(-1)
+    q_pred = quantized.classify(images)
+    assert (float_pred == q_pred).mean() >= 0.75
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=64),
+    st.integers(min_value=1, max_value=96),
+    st.integers(min_value=1, max_value=96),
+)
+def test_gemm_cycle_floor_property(m, k, n):
+    """No GEMM finishes faster than its MAC count allows at peak."""
+    from repro.hw import SystolicArray
+
+    accel = AcceleratorConfig.edge_default()
+    timing = SystolicArray(accel).gemm_cycles(GemmOp("g", m=m, k=k, n=n))
+    assert timing.cycles * accel.peak_macs_per_cycle >= m * k * n
+    assert 0.0 < timing.utilization <= 1.0

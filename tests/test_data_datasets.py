@@ -1,0 +1,144 @@
+"""Window datasets: labels, masking, few-shot splits, batching."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    batch_iterator,
+    build_task_windows,
+    build_window_dataset,
+    few_shot_split,
+    get_task,
+)
+from repro.data.datasets import (
+    background_class_id,
+    class_names,
+    num_classes,
+)
+from repro.data.ontology import ATTRIBUTE_FAMILIES, category_names
+
+
+class TestBuildWindowDataset:
+    def test_sizes(self, tiny_dataset):
+        assert len(tiny_dataset) == 40 + 12 + 12
+        assert tiny_dataset.images.shape[1:] == (3, 32, 32)
+
+    def test_class_vocabulary(self):
+        assert class_names()[-1] == "background"
+        assert num_classes() == len(category_names()) + 1
+
+    def test_labels_in_range(self, tiny_dataset):
+        assert tiny_dataset.class_labels.min() >= 0
+        assert tiny_dataset.class_labels.max() < num_classes()
+
+    def test_background_attribute_masked(self, tiny_dataset):
+        non_object = tiny_dataset.objectness < 0.5
+        for family in ATTRIBUTE_FAMILIES:
+            labels = tiny_dataset.attribute_labels[family]
+            assert (labels[non_object] == -1).all()
+
+    def test_object_attributes_labelled(self, tiny_dataset):
+        is_object = tiny_dataset.objectness > 0.5
+        for family, vocab in ATTRIBUTE_FAMILIES.items():
+            labels = tiny_dataset.attribute_labels[family][is_object]
+            assert (labels >= 0).all() and (labels < len(vocab)).all()
+
+    def test_profiles_align_with_objectness(self, tiny_dataset):
+        for profile, obj in zip(tiny_dataset.profiles, tiny_dataset.objectness):
+            assert (profile is not None) == bool(obj > 0.5)
+
+    def test_deterministic(self):
+        a = build_window_dataset(seed=3, num_category_objects=10,
+                                 num_distractors=5, num_background=5)
+        b = build_window_dataset(seed=3, num_category_objects=10,
+                                 num_distractors=5, num_background=5)
+        np.testing.assert_array_equal(a.images, b.images)
+        np.testing.assert_array_equal(a.class_labels, b.class_labels)
+
+    def test_subset(self, tiny_dataset):
+        sub = tiny_dataset.subset([0, 2, 4])
+        assert len(sub) == 3
+        np.testing.assert_array_equal(sub.images[1], tiny_dataset.images[2])
+        assert sub.profiles[1] is tiny_dataset.profiles[2]
+
+
+class TestTaskWindows:
+    def test_positive_negative_counts(self):
+        task = get_task("stop_control")
+        ds = build_task_windows(task, seed=0, num_positive=30, num_negative=50)
+        assert len(ds) == 80
+        assert int(ds.task_labels.sum()) == 30
+
+    def test_positives_satisfy_predicate(self):
+        task = get_task("biohazard_sweep")
+        ds = build_task_windows(task, seed=1, num_positive=25, num_negative=25)
+        for profile, label in zip(ds.profiles, ds.task_labels):
+            if label > 0.5:
+                assert profile is not None and task.matches(profile)
+            elif profile is not None:
+                assert not task.matches(profile)
+
+    def test_hard_negatives_present(self):
+        task = get_task("valve_inspection")
+        ds = build_task_windows(task, seed=2, num_positive=20, num_negative=40,
+                                hard_negative_fraction=0.5)
+        negatives_with_objects = sum(
+            1 for profile, label in zip(ds.profiles, ds.task_labels)
+            if label < 0.5 and profile is not None
+        )
+        assert negatives_with_objects >= 15
+
+
+class TestFewShot:
+    def test_split_counts(self):
+        task = get_task("roadside_hazards")
+        ds = build_task_windows(task, seed=0, num_positive=30, num_negative=30)
+        support, query = few_shot_split(ds, shots=5, seed=1)
+        assert len(support) == 10
+        assert len(support) + len(query) == len(ds)
+        assert int(support.task_labels.sum()) == 5
+
+    def test_split_disjoint(self):
+        task = get_task("roadside_hazards")
+        ds = build_task_windows(task, seed=0, num_positive=20, num_negative=20)
+        support, query = few_shot_split(ds, shots=3, seed=2)
+        # images are unique per window, so disjointness is checkable by value
+        support_keys = {img.tobytes() for img in support.images}
+        query_keys = {img.tobytes() for img in query.images}
+        assert not (support_keys & query_keys)
+
+    def test_too_many_shots(self):
+        task = get_task("roadside_hazards")
+        ds = build_task_windows(task, seed=0, num_positive=4, num_negative=10)
+        with pytest.raises(ValueError):
+            few_shot_split(ds, shots=5)
+
+    def test_requires_task_labels(self, tiny_dataset):
+        with pytest.raises(ValueError):
+            few_shot_split(tiny_dataset, shots=2)
+
+
+class TestBatchIterator:
+    def test_covers_everything_once(self, tiny_dataset):
+        seen = 0
+        for batch in batch_iterator(tiny_dataset, 16, seed=0):
+            seen += len(batch)
+        assert seen == len(tiny_dataset)
+
+    def test_batch_size_respected(self, tiny_dataset):
+        sizes = [len(b) for b in batch_iterator(tiny_dataset, 16, seed=0)]
+        assert all(s == 16 for s in sizes[:-1])
+        assert sizes[-1] <= 16
+
+    def test_no_shuffle_preserves_order(self, tiny_dataset):
+        first = next(iter(batch_iterator(tiny_dataset, 8, shuffle=False)))
+        np.testing.assert_array_equal(first.images, tiny_dataset.images[:8])
+
+    def test_shuffle_changes_order(self, tiny_dataset):
+        a = next(iter(batch_iterator(tiny_dataset, 8, seed=0)))
+        b = next(iter(batch_iterator(tiny_dataset, 8, seed=1)))
+        assert not np.array_equal(a.images, b.images)
+
+    def test_invalid_batch_size(self, tiny_dataset):
+        with pytest.raises(ValueError):
+            list(batch_iterator(tiny_dataset, 0))

@@ -1,0 +1,126 @@
+"""Attribute ontology: vocabularies, profiles, categories."""
+
+import numpy as np
+import pytest
+
+from repro.data.ontology import (
+    ATTRIBUTE_FAMILIES,
+    COLOR_RGB,
+    OBJECT_CATEGORIES,
+    AttributeProfile,
+    attribute_head_spec,
+    attribute_index,
+    attribute_value,
+    category_names,
+    category_of_profile,
+    profile_for_category,
+    sample_profile,
+)
+
+
+class TestVocabularies:
+    def test_every_family_nonempty(self):
+        for family, values in ATTRIBUTE_FAMILIES.items():
+            assert len(values) >= 2, family
+
+    def test_vocabularies_disjoint(self):
+        """The SimulatedLLM relies on word → family being unambiguous."""
+        seen = {}
+        for family, values in ATTRIBUTE_FAMILIES.items():
+            for value in values:
+                assert value not in seen, f"{value} in {family} and {seen.get(value)}"
+                seen[value] = family
+
+    def test_every_color_has_rgb(self):
+        for color in ATTRIBUTE_FAMILIES["color"]:
+            assert color in COLOR_RGB
+            assert all(0.0 <= c <= 1.0 for c in COLOR_RGB[color])
+
+    def test_index_value_roundtrip(self):
+        for family, values in ATTRIBUTE_FAMILIES.items():
+            for i, value in enumerate(values):
+                assert attribute_index(family, value) == i
+                assert attribute_value(family, i) == value
+
+    def test_index_errors(self):
+        with pytest.raises(KeyError):
+            attribute_index("flavor", "sweet")
+        with pytest.raises(ValueError):
+            attribute_index("color", "puce")
+
+    def test_head_spec_matches_families(self):
+        spec = dict(attribute_head_spec())
+        assert set(spec) == set(ATTRIBUTE_FAMILIES)
+        for family, cardinality in spec.items():
+            assert cardinality == len(ATTRIBUTE_FAMILIES[family])
+
+
+class TestProfiles:
+    def test_profile_validation(self):
+        with pytest.raises(ValueError):
+            AttributeProfile(shape="blob", color="red", size="small",
+                             texture="solid", border="none")
+
+    def test_as_indices(self):
+        p = AttributeProfile("circle", "red", "small", "solid", "none")
+        idx = p.as_indices()
+        assert idx["shape"] == 0 and idx["color"] == 0
+
+    def test_replace(self):
+        p = AttributeProfile("circle", "red", "small", "solid", "none")
+        q = p.replace(color="blue")
+        assert q.color == "blue" and q.shape == "circle"
+        assert p.color == "red"  # original untouched
+
+    def test_sample_respects_fixed(self):
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            p = sample_profile(rng, fixed={"color": "cyan", "shape": "ring"})
+            assert p.color == "cyan" and p.shape == "ring"
+
+    def test_sample_rejects_bad_fixed(self):
+        with pytest.raises(ValueError):
+            sample_profile(np.random.default_rng(0), fixed={"color": "puce"})
+
+    def test_sample_covers_vocabulary(self):
+        rng = np.random.default_rng(1)
+        shapes = {sample_profile(rng).shape for _ in range(300)}
+        assert shapes == set(ATTRIBUTE_FAMILIES["shape"])
+
+
+class TestCategories:
+    def test_category_constraints_valid(self):
+        for name, spec in OBJECT_CATEGORIES.items():
+            for family, value in spec.items():
+                assert value in ATTRIBUTE_FAMILIES[family], (name, family)
+
+    def test_profile_for_category_satisfies_spec(self):
+        rng = np.random.default_rng(2)
+        for name, spec in OBJECT_CATEGORIES.items():
+            for _ in range(5):
+                profile = profile_for_category(name, rng)
+                attrs = profile.as_dict()
+                for family, value in spec.items():
+                    assert attrs[family] == value
+
+    def test_category_of_profile_recovers(self):
+        rng = np.random.default_rng(3)
+        # note: category_of_profile returns the *first* matching category,
+        # so we only assert it matches the spec of the returned name
+        for name in category_names():
+            profile = profile_for_category(name, rng)
+            recovered = category_of_profile(profile)
+            assert recovered is not None
+            spec = OBJECT_CATEGORIES[recovered]
+            assert all(profile.as_dict()[f] == v for f, v in spec.items())
+
+    def test_unknown_category_raises(self):
+        with pytest.raises(KeyError):
+            profile_for_category("unicorn", np.random.default_rng(0))
+
+    def test_distractor_possible(self):
+        """Some profiles match no category (distractors must exist)."""
+        rng = np.random.default_rng(4)
+        assert any(
+            category_of_profile(sample_profile(rng)) is None for _ in range(200)
+        )

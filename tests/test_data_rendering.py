@@ -1,0 +1,109 @@
+"""Renderer: output contracts and attribute distinguishability."""
+
+import numpy as np
+import pytest
+
+from repro.data.ontology import ATTRIBUTE_FAMILIES, COLOR_RGB, AttributeProfile
+from repro.data.rendering import (
+    WINDOW_SIZE,
+    _shape_mask,
+    render_background,
+    render_clutter,
+    render_object,
+)
+
+
+def profile(**overrides):
+    base = dict(shape="circle", color="red", size="large",
+                texture="solid", border="none")
+    base.update(overrides)
+    return AttributeProfile(**base)
+
+
+class TestContracts:
+    def test_output_shape_and_range(self):
+        rng = np.random.default_rng(0)
+        img = render_object(profile(), rng=rng)
+        assert img.shape == (3, WINDOW_SIZE, WINDOW_SIZE)
+        assert img.dtype == np.float32
+        assert img.min() >= 0.0 and img.max() <= 1.0
+
+    def test_background_contract(self):
+        bg = render_background(np.random.default_rng(0))
+        assert bg.shape == (3, WINDOW_SIZE, WINDOW_SIZE)
+        assert bg.max() <= 1.0
+
+    def test_clutter_contract(self):
+        img = render_clutter(np.random.default_rng(0))
+        assert img.shape == (3, WINDOW_SIZE, WINDOW_SIZE)
+
+    def test_custom_size(self):
+        img = render_object(profile(), rng=np.random.default_rng(0), size=48)
+        assert img.shape == (3, 48, 48)
+
+    def test_deterministic_given_rng(self):
+        a = render_object(profile(), rng=np.random.default_rng(9))
+        b = render_object(profile(), rng=np.random.default_rng(9))
+        np.testing.assert_array_equal(a, b)
+
+    def test_jitter_varies_output(self):
+        rng = np.random.default_rng(0)
+        a = render_object(profile(), rng=rng)
+        b = render_object(profile(), rng=rng)
+        assert not np.array_equal(a, b)
+
+
+class TestShapeMasks:
+    @pytest.mark.parametrize("shape", ATTRIBUTE_FAMILIES["shape"])
+    def test_mask_nonempty_and_bounded(self, shape):
+        mask = _shape_mask(shape, 32, 0.4)
+        assert mask.any()
+        assert mask.mean() < 0.9  # not the whole canvas
+
+    def test_unknown_shape(self):
+        with pytest.raises(ValueError):
+            _shape_mask("hexagon", 32, 0.4)
+
+    def test_size_ordering(self):
+        small = _shape_mask("circle", 32, 0.28).sum()
+        large = _shape_mask("circle", 32, 0.47).sum()
+        assert large > small
+
+    def test_ring_has_hole(self):
+        ring = _shape_mask("ring", 64, 0.45)
+        disc = _shape_mask("circle", 64, 0.45)
+        assert ring.sum() < disc.sum()
+        assert not ring[32, 32]  # center empty
+
+
+class TestAttributeVisibility:
+    def test_color_dominates_object_pixels(self):
+        rng = np.random.default_rng(0)
+        img = render_object(profile(color="blue", texture="solid"),
+                            rng=rng, noise_std=0.0)
+        # brightest pixels should be blue-ish
+        bright = img.reshape(3, -1)[:, img.sum(axis=0).reshape(-1).argmax()]
+        assert bright[2] > bright[0] and bright[2] > bright[1]
+
+    def test_striped_adds_high_frequency_structure(self):
+        solid = render_object(profile(texture="solid"),
+                              rng=np.random.default_rng(1), noise_std=0.0)
+        striped = render_object(profile(texture="striped"),
+                                rng=np.random.default_rng(1), noise_std=0.0)
+        # stripes create more local edges than a solid fill
+        solid_edges = np.abs(np.diff(solid, axis=-1)).mean()
+        striped_edges = np.abs(np.diff(striped, axis=-1)).mean()
+        assert striped_edges > solid_edges
+        assert not np.array_equal(solid, striped)
+
+    def test_border_changes_image(self):
+        none = render_object(profile(border="none"),
+                             rng=np.random.default_rng(2), noise_std=0.0)
+        thick = render_object(profile(border="thick"),
+                              rng=np.random.default_rng(2), noise_std=0.0)
+        assert not np.array_equal(none, thick)
+
+    def test_noise_std_zero_is_clean(self):
+        img = render_background(np.random.default_rng(0), noise_std=0.0)
+        # background without noise is smooth: tiny local variance
+        assert np.abs(np.diff(img, axis=-1)).max() < 0.05

@@ -1,0 +1,91 @@
+"""Scene generation: layout invariants, annotations, densities."""
+
+import numpy as np
+import pytest
+
+from repro.data import Scene, SceneConfig, SceneGenerator
+from repro.data.ontology import category_of_profile
+
+
+class TestSceneConfig:
+    def test_density_validation(self):
+        with pytest.raises(ValueError):
+            SceneConfig(object_density=0.6, distractor_density=0.3,
+                        clutter_density=0.3)
+
+    def test_image_size(self):
+        assert SceneConfig(grid=4, cell_size=32).image_size == 128
+
+
+class TestSceneGenerator:
+    def test_deterministic_given_seed(self):
+        a = SceneGenerator(seed=5).generate()
+        b = SceneGenerator(seed=5).generate()
+        np.testing.assert_array_equal(a.image, b.image)
+        assert len(a.objects) == len(b.objects)
+
+    def test_image_contract(self):
+        scene = SceneGenerator(seed=0).generate()
+        assert scene.image.shape == (3, 96, 96)
+        assert scene.image.dtype == np.float32
+        assert 0.0 <= scene.image.min() and scene.image.max() <= 1.0
+
+    def test_objects_in_distinct_cells(self):
+        scene = SceneGenerator(seed=1).generate()
+        cells = [obj.cell for obj in scene.objects]
+        assert len(cells) == len(set(cells))
+
+    def test_bboxes_align_with_cells(self):
+        scene = SceneGenerator(seed=2).generate()
+        for obj in scene.objects:
+            row, col = obj.cell
+            assert obj.bbox == scene.cell_bbox(row, col)
+
+    def test_category_labels_consistent(self):
+        scene = SceneGenerator(seed=3).generate()
+        for obj in scene.objects:
+            recovered = category_of_profile(obj.profile)
+            if obj.category is None:
+                assert recovered is None
+            else:
+                assert recovered is not None
+
+    def test_crop_matches_cell(self):
+        scene = SceneGenerator(seed=4).generate()
+        for row, col, bbox, window in scene.iter_cells():
+            assert window.shape == (3, scene.cell_size, scene.cell_size)
+            np.testing.assert_array_equal(window, scene.crop(bbox))
+
+    def test_object_density_controls_count(self):
+        dense = SceneGenerator(SceneConfig(object_density=0.9,
+                                           distractor_density=0.0,
+                                           clutter_density=0.0), seed=0)
+        sparse = SceneGenerator(SceneConfig(object_density=0.1,
+                                            distractor_density=0.0,
+                                            clutter_density=0.0), seed=0)
+        dense_count = np.mean([len(dense.generate().objects) for _ in range(20)])
+        sparse_count = np.mean([len(sparse.generate().objects) for _ in range(20)])
+        assert dense_count > sparse_count * 2
+
+    def test_category_weights(self):
+        config = SceneConfig(category_weights={"valve_wheel": 1.0},
+                             object_density=0.9, distractor_density=0.0,
+                             clutter_density=0.0)
+        gen = SceneGenerator(config, seed=0)
+        for scene in gen.generate_batch(5):
+            for obj in scene.objects:
+                assert obj.category == "valve_wheel"
+
+    def test_bad_category_weights(self):
+        with pytest.raises(ValueError):
+            SceneGenerator(SceneConfig(category_weights={"unknown": 1.0}))
+
+    def test_generate_batch_count(self):
+        assert len(SceneGenerator(seed=0).generate_batch(7)) == 7
+
+    def test_object_center_property(self):
+        scene = SceneGenerator(seed=6).generate()
+        for obj in scene.objects:
+            cx, cy = obj.center
+            x0, y0, x1, y1 = obj.bbox
+            assert x0 < cx < x1 and y0 < cy < y1

@@ -1,0 +1,89 @@
+"""Task library: predicate semantics and library consistency."""
+
+import numpy as np
+import pytest
+
+from repro.data.ontology import sample_profile
+from repro.data.tasks import (
+    TASK_LIBRARY,
+    AttributePredicate,
+    TaskDefinition,
+    _pred,
+    get_task,
+    task_names,
+)
+
+
+class TestAttributePredicate:
+    def test_allowed_only(self):
+        pred = _pred(allowed={"color": ("red", "blue")})
+        rng = np.random.default_rng(0)
+        red = sample_profile(rng, fixed={"color": "red"})
+        green = sample_profile(rng, fixed={"color": "green"})
+        assert pred.matches(red)
+        assert not pred.matches(green)
+
+    def test_forbidden_only(self):
+        pred = _pred(forbidden={"size": ("small",)})
+        rng = np.random.default_rng(0)
+        assert not pred.matches(sample_profile(rng, fixed={"size": "small"}))
+        assert pred.matches(sample_profile(rng, fixed={"size": "large"}))
+
+    def test_conjunction(self):
+        pred = _pred(allowed={"color": ("red",), "shape": ("square",)})
+        rng = np.random.default_rng(0)
+        both = sample_profile(rng, fixed={"color": "red", "shape": "square"})
+        one = sample_profile(rng, fixed={"color": "red", "shape": "circle"})
+        assert pred.matches(both)
+        assert not pred.matches(one)
+
+    def test_empty_predicate_matches_everything(self):
+        pred = AttributePredicate()
+        rng = np.random.default_rng(0)
+        assert all(pred.matches(sample_profile(rng)) for _ in range(20))
+
+    def test_validation(self):
+        with pytest.raises(KeyError):
+            AttributePredicate(allowed={"flavor": frozenset({"sweet"})})
+        with pytest.raises(ValueError):
+            AttributePredicate(allowed={"color": frozenset({"puce"})})
+
+    def test_constrained_families(self):
+        pred = _pred(allowed={"color": ("red",)}, forbidden={"size": ("small",)})
+        assert pred.constrained_families == ["color", "size"]
+
+
+class TestTaskLibrary:
+    def test_nonempty_and_named(self):
+        assert len(TASK_LIBRARY) >= 8
+        for name, task in TASK_LIBRARY.items():
+            assert task.name == name
+            assert task.mission_text
+            assert task.domain in {"driving", "healthcare", "industrial"}
+
+    def test_get_task(self):
+        assert get_task("cargo_audit").name == "cargo_audit"
+        with pytest.raises(KeyError):
+            get_task("nonexistent")
+
+    def test_task_names_order(self):
+        assert task_names() == list(TASK_LIBRARY)
+
+    @pytest.mark.parametrize("name", list(TASK_LIBRARY))
+    def test_each_task_satisfiable(self, name):
+        """Every task predicate accepts some profile and rejects some."""
+        task = get_task(name)
+        rng = np.random.default_rng(0)
+        results = [task.matches(sample_profile(rng)) for _ in range(800)]
+        assert any(results), f"{name} accepts nothing"
+        assert not all(results), f"{name} accepts everything"
+
+    @pytest.mark.parametrize("name", list(TASK_LIBRARY))
+    def test_mission_text_mentions_constraints(self, name):
+        """Each allowed attribute value appears verbatim in the text (the
+        channel the simulated LLM extracts from)."""
+        task = get_task(name)
+        text = task.mission_text.lower()
+        for family, values in task.predicate.allowed.items():
+            for value in values:
+                assert value in text, (name, family, value)

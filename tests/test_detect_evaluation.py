@@ -1,0 +1,95 @@
+"""End-to-end detection evaluation paths and edge cases."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.data import SceneConfig, SceneGenerator, build_task_windows, get_task
+from repro.detect import TaskDetector, evaluate_task_detection, window_task_accuracy
+from repro.detect.metrics import task_accuracy
+from repro.kg import GraphMatcher, SimulatedLLM
+from repro.quant import QuantizedLinear, QuantSpec, compute_qparams
+from repro.nn import Linear
+
+
+class TestEvaluateTaskDetection:
+    @pytest.fixture(scope="class")
+    def setup(self, student_vit):
+        task = get_task("roadside_hazards")
+        matcher = GraphMatcher(SimulatedLLM().generate_for_task(task))
+        scenes = SceneGenerator(SceneConfig(), seed=31).generate_batch(4)
+        return task, matcher, scenes
+
+    def test_metrics_consistent(self, student_vit, setup):
+        task, matcher, scenes = setup
+        detector = TaskDetector(student_vit, matcher, score_threshold=0.3)
+        metrics = evaluate_task_detection(detector, scenes, task)
+        total_relevant = sum(
+            sum(task.matches(o.profile) for o in s.objects) for s in scenes)
+        assert metrics.true_positives + metrics.false_negatives == total_relevant
+        assert 0.0 <= metrics.average_precision <= 1.0
+
+    def test_never_firing_detector(self, student_vit, setup):
+        task, matcher, scenes = setup
+        detector = TaskDetector(student_vit, matcher, score_threshold=1.0)
+        metrics = evaluate_task_detection(detector, scenes, task)
+        assert metrics.true_positives == 0
+        assert metrics.false_positives == 0
+        assert metrics.recall == 0.0
+
+    def test_always_firing_detector_has_full_recall(self, student_vit, setup):
+        task, matcher, scenes = setup
+        detector = TaskDetector(student_vit, matcher=None, score_threshold=0.0)
+        metrics = evaluate_task_detection(detector, scenes, task)
+        assert metrics.recall == pytest.approx(1.0)
+
+    def test_object_cells_only_no_easier(self, student_vit, setup):
+        """Restricting to object cells removes the trivially-correct
+        background cells, so accuracy can only drop or stay equal for a
+        conservative detector."""
+        task, matcher, scenes = setup
+        detector = TaskDetector(student_vit, matcher, score_threshold=0.9)
+        full = task_accuracy(detector, scenes, task)
+        hard = task_accuracy(detector, scenes, task, object_cells_only=True)
+        assert hard <= full + 1e-9
+
+    def test_window_accuracy_requires_labels(self, student_vit, tiny_dataset):
+        with pytest.raises(ValueError):
+            window_task_accuracy(student_vit, tiny_dataset)
+
+    def test_threshold_monotonicity_of_fires(self, student_vit, setup):
+        task, matcher, scenes = setup
+        low = TaskDetector(student_vit, matcher, score_threshold=0.1)
+        high = TaskDetector(student_vit, matcher, score_threshold=0.6)
+        assert len(low.detect(scenes[0])) >= len(high.detect(scenes[0]))
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=32),
+    st.integers(min_value=1, max_value=16),
+    st.integers(min_value=2, max_value=8),
+)
+def test_quantized_linear_error_bound_property(in_features, out_features, bits):
+    """Output error of the integer kernel is bounded by first-order
+    quantization error propagation for any layer geometry."""
+    rng = np.random.default_rng(in_features * 100 + out_features)
+    linear = Linear(in_features, out_features, rng=rng)
+    x = rng.standard_normal((4, in_features)).astype(np.float32)
+    act_params = compute_qparams(float(x.min()), float(x.max()),
+                                 QuantSpec(bits=8, symmetric=False))
+    qlinear = QuantizedLinear.from_linear(
+        linear, act_params,
+        QuantSpec(bits=bits, symmetric=True, per_channel=True, axis=0))
+    y_float = x @ linear.weight.data.T + linear.bias.data
+    y_quant = qlinear(x)
+    # bound: |Δ| ≤ Σ_k (|x|·Δw + |w|·Δx + Δx·Δw); use a loose constant ×
+    # the per-element scales
+    act_step = float(act_params.scale)
+    w_step = float(np.max(qlinear.weight_params.scale))
+    bound = in_features * (
+        np.abs(x).max() * w_step / 2
+        + np.abs(linear.weight.data).max() * act_step / 2
+        + act_step * w_step / 4
+    ) * 2.0 + 1e-4
+    assert np.abs(y_quant - y_float).max() <= bound

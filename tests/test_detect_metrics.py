@@ -1,0 +1,94 @@
+"""Detection metrics: matching, PR curves, AP, task accuracy plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.data.ontology import AttributeProfile
+from repro.data.scenes import ObjectInstance
+from repro.detect import (
+    Detection,
+    DetectionMetrics,
+    average_precision,
+    match_detections,
+    precision_recall_curve,
+)
+
+
+def det(bbox, score):
+    return Detection(bbox=bbox, score=score, objectness=score,
+                     task_score=1.0, class_id=0, attribute_probs={})
+
+
+def gt(bbox):
+    profile = AttributeProfile("circle", "red", "small", "solid", "none")
+    return ObjectInstance(profile=profile, bbox=bbox, category=None, cell=(0, 0))
+
+
+class TestMatching:
+    def test_perfect_match(self):
+        hits, misses = match_detections([det((0, 0, 10, 10), 0.9)],
+                                        [gt((0, 0, 10, 10))])
+        assert hits == [True] and misses == 0
+
+    def test_low_iou_no_match(self):
+        hits, misses = match_detections([det((0, 0, 10, 10), 0.9)],
+                                        [gt((50, 50, 60, 60))])
+        assert hits == [False] and misses == 1
+
+    def test_one_gt_matches_once(self):
+        detections = [det((0, 0, 10, 10), 0.9), det((1, 1, 10, 10), 0.8)]
+        hits, misses = match_detections(detections, [gt((0, 0, 10, 10))])
+        assert hits == [True, False] and misses == 0
+
+    def test_highest_score_matched_first(self):
+        detections = [det((0, 0, 10, 10), 0.2), det((0, 0, 10, 10), 0.9)]
+        hits, _ = match_detections(detections, [gt((0, 0, 10, 10))])
+        assert hits == [False, True]
+
+    def test_empty_detections(self):
+        hits, misses = match_detections([], [gt((0, 0, 1, 1))])
+        assert hits == [] and misses == 1
+
+
+class TestCurvesAndAP:
+    def test_perfect_detector_ap_one(self):
+        precision, recall = precision_recall_curve(
+            [0.9, 0.8], [True, True], num_positives=2)
+        assert average_precision(precision, recall) == pytest.approx(1.0)
+
+    def test_all_wrong_ap_zero(self):
+        precision, recall = precision_recall_curve(
+            [0.9, 0.8], [False, False], num_positives=2)
+        assert average_precision(precision, recall) == 0.0
+
+    def test_interleaved(self):
+        precision, recall = precision_recall_curve(
+            [0.9, 0.8, 0.7], [True, False, True], num_positives=2)
+        ap = average_precision(precision, recall)
+        assert 0.5 < ap < 1.0
+
+    def test_no_positives(self):
+        precision, recall = precision_recall_curve([0.5], [False], 0)
+        assert average_precision(precision, recall) == 0.0
+
+    def test_recall_monotone(self):
+        rng = np.random.default_rng(0)
+        scores = rng.random(20).tolist()
+        hits = (rng.random(20) > 0.5).tolist()
+        _, recall = precision_recall_curve(scores, hits, num_positives=10)
+        assert (np.diff(recall) >= -1e-12).all()
+
+
+class TestMetricsContainer:
+    def test_derived_quantities(self):
+        m = DetectionMetrics(true_positives=8, false_positives=2,
+                             false_negatives=2, average_precision=0.8)
+        assert m.precision == pytest.approx(0.8)
+        assert m.recall == pytest.approx(0.8)
+        assert m.f1 == pytest.approx(0.8)
+        d = m.as_dict()
+        assert d["tp"] == 8 and "ap" in d
+
+    def test_zero_division_safe(self):
+        m = DetectionMetrics(0, 0, 0, 0.0)
+        assert m.precision == 0.0 and m.recall == 0.0 and m.f1 == 0.0

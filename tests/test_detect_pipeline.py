@@ -1,0 +1,96 @@
+"""Detection pipeline: adapters, scanning, task conditioning."""
+
+import numpy as np
+import pytest
+
+from repro.data import SceneConfig, SceneGenerator, get_task
+from repro.data.datasets import background_class_id, num_classes
+from repro.detect import TaskDetector, predict_windows, task_accuracy
+from repro.kg import GraphMatcher, SimulatedLLM
+from repro.quant import quantize_vit
+
+
+@pytest.fixture(scope="module")
+def scene():
+    return SceneGenerator(SceneConfig(), seed=21).generate()
+
+
+class TestPredictWindows:
+    def test_float_model_contract(self, student_vit):
+        windows = np.random.default_rng(0).random((5, 3, 32, 32)).astype(np.float32)
+        out = predict_windows(student_vit, windows)
+        assert out["class_probs"].shape == (5, num_classes())
+        np.testing.assert_allclose(out["class_probs"].sum(axis=-1), 1.0, rtol=1e-4)
+        for family, probs in out["attribute_probs"].items():
+            np.testing.assert_allclose(probs.sum(axis=-1), 1.0, rtol=1e-4)
+
+    def test_quantized_model_contract(self, student_vit):
+        rng = np.random.default_rng(1)
+        calibration = rng.random((16, 3, 32, 32)).astype(np.float32)
+        q = quantize_vit(student_vit, calibration)
+        out = predict_windows(q, calibration[:4])
+        assert out["class_probs"].shape == (4, num_classes())
+
+    def test_batching_consistent(self, student_vit):
+        windows = np.random.default_rng(2).random((10, 3, 32, 32)).astype(np.float32)
+        small = predict_windows(student_vit, windows, batch_size=3)
+        large = predict_windows(student_vit, windows, batch_size=64)
+        np.testing.assert_allclose(small["class_probs"], large["class_probs"],
+                                   atol=1e-5)
+
+
+class TestTaskDetector:
+    def test_grid_window_count(self, student_vit, scene):
+        detector = TaskDetector(student_vit, score_threshold=0.0)
+        windows, boxes = detector._windows(scene)
+        assert windows.shape[0] == scene.grid ** 2 == len(boxes)
+
+    def test_sliding_stride(self, student_vit, scene):
+        detector = TaskDetector(student_vit, score_threshold=0.0)
+        windows, _ = detector._windows(scene, stride=16)
+        expected = ((scene.size - scene.cell_size) // 16 + 1) ** 2
+        assert windows.shape[0] == expected
+
+    def test_threshold_zero_fires_everywhere(self, student_vit, scene):
+        detector = TaskDetector(student_vit, score_threshold=0.0)
+        detections = detector.detect(scene)
+        assert len(detections) == scene.grid ** 2
+
+    def test_threshold_one_fires_nowhere(self, student_vit, scene):
+        detector = TaskDetector(student_vit, score_threshold=1.0)
+        assert detector.detect(scene) == []
+
+    def test_detections_sorted_and_bounded(self, student_vit, scene):
+        detector = TaskDetector(student_vit, score_threshold=0.0)
+        detections = detector.detect(scene)
+        scores = [d.score for d in detections]
+        assert scores == sorted(scores, reverse=True)
+        for d in detections:
+            assert 0.0 <= d.score <= 1.0
+            assert 0.0 <= d.objectness <= 1.0
+            assert 0.0 <= d.task_score <= 1.0
+
+    def test_matcher_changes_scores(self, student_vit, scene):
+        task = get_task("stop_control")
+        kg = SimulatedLLM().generate_for_task(task)
+        plain = TaskDetector(student_vit, matcher=None, score_threshold=0.0)
+        tasked = TaskDetector(student_vit, matcher=GraphMatcher(kg),
+                              score_threshold=0.0)
+        plain_scores = {d.bbox: d.score for d in plain.detect(scene)}
+        task_scores = {d.bbox: d.score for d in tasked.detect(scene)}
+        # task conditioning can only lower the combined score
+        for bbox, score in task_scores.items():
+            assert score <= plain_scores[bbox] + 1e-9
+
+    def test_score_threshold_validation(self, student_vit):
+        with pytest.raises(ValueError):
+            TaskDetector(student_vit, score_threshold=1.5)
+
+    def test_task_accuracy_range(self, student_vit):
+        task = get_task("roadside_hazards")
+        scenes = SceneGenerator(SceneConfig(), seed=5).generate_batch(3)
+        detector = TaskDetector(student_vit, score_threshold=0.5)
+        acc = task_accuracy(detector, scenes, task)
+        assert 0.0 <= acc <= 1.0
+        acc_hard = task_accuracy(detector, scenes, task, object_cells_only=True)
+        assert 0.0 <= acc_hard <= 1.0

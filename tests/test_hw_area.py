@@ -1,0 +1,50 @@
+"""Accelerator area model."""
+
+import pytest
+
+from repro.hw import AcceleratorConfig, estimate_area, node_scale
+
+
+class TestNodeScale:
+    def test_reference_is_unity(self):
+        assert node_scale(28.0) == pytest.approx(1.0)
+
+    def test_smaller_node_smaller_area(self):
+        assert node_scale(7.0) < node_scale(16.0) < node_scale(28.0)
+
+    def test_quadratic(self):
+        assert node_scale(14.0) == pytest.approx(0.25)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            node_scale(0.0)
+
+
+class TestEstimateArea:
+    def test_breakdown_sums_to_total(self):
+        report = estimate_area(AcceleratorConfig.edge_default())
+        parts = report.breakdown()
+        assert parts["total"] == pytest.approx(
+            parts["array"] + parts["sram"] + parts["vector"]
+            + parts["controller"])
+
+    def test_plausible_magnitude(self):
+        """An edge accelerator should be a few mm², not micro- or giant."""
+        report = estimate_area(AcceleratorConfig.edge_default())
+        assert 0.1 < report.total_mm2 < 20.0
+
+    def test_bigger_array_bigger_area(self):
+        small = estimate_area(AcceleratorConfig.small()).total_mm2
+        default = estimate_area(AcceleratorConfig.edge_default()).total_mm2
+        large = estimate_area(AcceleratorConfig.large()).total_mm2
+        assert small < default < large
+
+    def test_node_shrink(self):
+        cfg = AcceleratorConfig.edge_default()
+        assert (estimate_area(cfg, node_nm=7.0).total_mm2
+                < estimate_area(cfg, node_nm=28.0).total_mm2)
+
+    def test_summary_readable(self):
+        report = estimate_area(AcceleratorConfig.edge_default())
+        text = report.summary()
+        assert "mm²" in text and "array" in text

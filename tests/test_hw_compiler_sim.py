@@ -1,0 +1,166 @@
+"""Compiler lowering and simulator execution on real quantized models."""
+
+import numpy as np
+import pytest
+
+from repro.hw import (
+    AcceleratorConfig,
+    Compiler,
+    GemmOp,
+    GPUConfig,
+    GPUModel,
+    PlatformPower,
+    Program,
+    Simulator,
+    SystolicArray,
+    compile_model,
+    energy_per_frame_j,
+    streaming_comparison,
+)
+from repro.hw.isa import DmaOp, VectorOp
+from repro.quant import quantize_vit
+
+
+@pytest.fixture(scope="module")
+def quantized_model(student_vit):
+    rng = np.random.default_rng(0)
+    calibration = rng.random((24, 3, 32, 32)).astype(np.float32)
+    return quantize_vit(student_vit, calibration)
+
+
+@pytest.fixture(scope="module")
+def program(quantized_model):
+    return compile_model(quantized_model)
+
+
+class TestCompiler:
+    def test_gemm_count(self, program, quantized_model):
+        cfg = quantized_model.config
+        gemms = [op for op in program if isinstance(op, GemmOp)]
+        # per block: qkv + proj + fc1 + fc2 + 2*heads attention products
+        expected = 1 + cfg.depth * (4 + 2 * cfg.num_heads) + 1 + len(
+            quantized_model.attribute_names)
+        assert len(gemms) == expected
+
+    def test_weight_gemms_reference_sites(self, program, quantized_model):
+        sites = {op.site for op in program
+                 if isinstance(op, GemmOp) and op.site is not None}
+        assert sites == set(quantized_model.layers)
+
+    def test_mac_count_matches_model_flops(self, program, quantized_model):
+        """Compiled MAC count equals the analytic ViT MAC count."""
+        analytic = quantized_model.model.flops_per_image()
+        assert program.total_macs() == analytic
+
+    def test_batch_scales_macs(self, quantized_model):
+        b1 = compile_model(quantized_model, batch=1).total_macs()
+        b4 = compile_model(quantized_model, batch=4).total_macs()
+        assert b4 == 4 * b1
+
+    def test_weights_pinned_when_fitting(self, program):
+        """Student weights fit in SRAM: no weight-load DMA emitted."""
+        dma_names = [op.name for op in program if isinstance(op, DmaOp)]
+        assert "load_weights" not in dma_names
+        assert "load_image" in dma_names and "store_logits" in dma_names
+
+    def test_weights_streamed_when_too_large(self, quantized_model):
+        tiny_sram = AcceleratorConfig(weight_sram_kib=1)
+        program = Compiler(tiny_sram).compile(quantized_model)
+        assert any(op.name == "load_weights" for op in program
+                   if isinstance(op, DmaOp))
+
+    def test_invalid_batch(self, quantized_model):
+        with pytest.raises(ValueError):
+            compile_model(quantized_model, batch=0)
+
+
+class TestSimulator:
+    def test_report_fields(self, program):
+        report = Simulator(AcceleratorConfig.edge_default()).simulate(program)
+        assert report.total_cycles > 0
+        assert report.latency_s > 0
+        assert report.energy_j > 0
+        assert 0 < report.array_utilization <= 1.0
+        assert set(report.engine_cycles) == {"gemm", "vector", "dma"}
+        assert "static" in report.energy_breakdown_j
+        assert "latency" in report.summary()
+
+    def test_latency_at_least_longest_engine(self, program):
+        sim = Simulator(AcceleratorConfig.edge_default())
+        report = sim.simulate(program)
+        assert report.total_cycles >= max(report.engine_cycles.values())
+
+    def test_overlap_reduces_latency(self, program):
+        no_overlap = Simulator(AcceleratorConfig.edge_default(),
+                               overlap_efficiency=0.0).simulate(program)
+        overlap = Simulator(AcceleratorConfig.edge_default(),
+                            overlap_efficiency=1.0).simulate(program)
+        assert overlap.total_cycles < no_overlap.total_cycles
+
+    def test_bigger_array_faster(self, quantized_model):
+        small = Simulator(AcceleratorConfig.small()).simulate(
+            Compiler(AcceleratorConfig.small()).compile(quantized_model))
+        large = Simulator(AcceleratorConfig.large()).simulate(
+            Compiler(AcceleratorConfig.large()).compile(quantized_model))
+        assert large.latency_s < small.latency_s
+
+    def test_energy_breakdown_sums(self, program):
+        report = Simulator(AcceleratorConfig.edge_default()).simulate(program)
+        assert sum(report.energy_breakdown_j.values()) == pytest.approx(
+            report.energy_j)
+
+    def test_throughput_consistency(self, program):
+        report = Simulator(AcceleratorConfig.edge_default()).simulate(program)
+        assert report.throughput_inferences_per_s == pytest.approx(
+            report.batch / report.latency_s)
+
+
+class TestGPUModel:
+    def test_report(self, program):
+        report = GPUModel(GPUConfig.jetson_class()).simulate(program)
+        assert report.latency_s > 0
+        assert report.kernel_count > 0
+        assert report.energy_j == pytest.approx(
+            GPUConfig.jetson_class().busy_w * report.latency_s)
+
+    def test_launch_overhead_dominates_small_model(self, program):
+        report = GPUModel(GPUConfig.jetson_class()).simulate(program)
+        assert report.time_breakdown_s["launch"] > report.time_breakdown_s["memory"]
+
+    def test_fast_host_faster(self, program):
+        slow = GPUModel(GPUConfig.jetson_class()).simulate(program)
+        fast = GPUModel(GPUConfig.fast_host()).simulate(program)
+        assert fast.latency_s < slow.latency_s
+
+    def test_accelerator_beats_gpu(self, program):
+        """The paper's headline direction: accelerator wins at batch 1."""
+        accel = Simulator(AcceleratorConfig.edge_default()).simulate(program)
+        gpu = GPUModel(GPUConfig.jetson_class()).simulate(program)
+        assert gpu.latency_s / accel.latency_s > 1.5
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            GPUConfig(peak_fp16_tflops=0)
+        with pytest.raises(ValueError):
+            GPUConfig(fusion_factor=1.5)
+
+
+class TestPlatform:
+    def test_energy_per_frame_floor(self):
+        platform = PlatformPower("p", idle_w=1.0, active_extra_w=0.0)
+        assert energy_per_frame_j(platform, 1e-3, fps=10) == pytest.approx(0.1)
+
+    def test_active_adder(self):
+        idle_only = PlatformPower("a", idle_w=1.0, active_extra_w=0.0)
+        with_active = PlatformPower("b", idle_w=1.0, active_extra_w=5.0)
+        assert (energy_per_frame_j(with_active, 1e-3, 30)
+                > energy_per_frame_j(idle_only, 1e-3, 30))
+
+    def test_cannot_sustain_fps(self):
+        with pytest.raises(ValueError):
+            energy_per_frame_j(PlatformPower.gpu_board(), 0.2, fps=30)
+
+    def test_streaming_comparison_keys(self):
+        result = streaming_comparison(accel_latency_s=3e-5, gpu_latency_s=1e-4)
+        assert result["speedup"] == pytest.approx(1e-4 / 3e-5)
+        assert 0 < result["energy_reduction_pct"] < 100

@@ -1,0 +1,106 @@
+"""Scheduler timeline and design-space exploration."""
+
+import numpy as np
+import pytest
+
+from repro.hw import (
+    AcceleratorConfig,
+    Compiler,
+    DesignPoint,
+    Simulator,
+    build_schedule,
+    pareto_front,
+    sweep,
+)
+from repro.quant import quantize_vit
+
+
+@pytest.fixture(scope="module")
+def quantized(student_vit):
+    rng = np.random.default_rng(0)
+    return quantize_vit(student_vit,
+                        rng.random((16, 3, 32, 32)).astype(np.float32))
+
+
+@pytest.fixture(scope="module")
+def program(quantized):
+    return Compiler(AcceleratorConfig.edge_default()).compile(quantized)
+
+
+class TestSchedule:
+    def test_makespan_matches_simulator(self, program):
+        """The schedule enforces per-engine serialization that the
+        simulator's aggregate model ignores, so its makespan is bounded
+        below by the simulator total (minus rounding) and stays close."""
+        config = AcceleratorConfig.edge_default()
+        schedule = build_schedule(program, config, overlap_efficiency=0.8)
+        report = Simulator(config, overlap_efficiency=0.8).simulate(program)
+        assert schedule.makespan >= report.total_cycles - len(program)
+        assert schedule.makespan <= report.total_cycles * 1.25
+
+    def test_every_op_scheduled(self, program):
+        schedule = build_schedule(program, AcceleratorConfig.edge_default())
+        assert len(schedule.ops) == len(program)
+        for op in schedule.ops:
+            assert op.end > op.start >= 0
+
+    def test_same_engine_ops_serialize(self, program):
+        schedule = build_schedule(program, AcceleratorConfig.edge_default())
+        for engine in ("gemm", "vector", "dma"):
+            ops = schedule.engine_ops(engine)
+            for a, b in zip(ops, ops[1:]):
+                assert b.start >= a.end - 1  # rounding slack of one cycle
+
+    def test_occupancy_bounds(self, program):
+        schedule = build_schedule(program, AcceleratorConfig.edge_default())
+        for engine in ("gemm", "vector", "dma"):
+            assert 0.0 <= schedule.engine_occupancy(engine) <= 1.0 + 1e-9
+
+    def test_gantt_renders(self, program):
+        schedule = build_schedule(program, AcceleratorConfig.edge_default())
+        chart = schedule.gantt()
+        assert "gemm" in chart and "vector" in chart and "dma" in chart
+        assert "#" in chart
+
+
+class TestDesignSpace:
+    @pytest.fixture(scope="class")
+    def points(self, quantized):
+        return sweep(quantized, array_sizes=((8, 8), (16, 16)),
+                     clocks_mhz=(250.0, 500.0))
+
+    def test_sweep_size(self, points):
+        assert len(points) == 4
+
+    def test_rows_well_formed(self, points):
+        for point in points:
+            row = point.as_row()
+            assert row["latency_ms"] > 0
+            assert row["energy_uj"] > 0
+            assert row["area_mm2"] > 0
+
+    def test_higher_clock_lower_latency(self, points):
+        by_key = {(p.config.array_rows, p.config.clock_mhz): p for p in points}
+        assert (by_key[(16, 500.0)].latency_ms
+                < by_key[(16, 250.0)].latency_ms)
+
+    def test_pareto_front_is_nondominated(self, points):
+        front = pareto_front(points)
+        assert front
+        for a in front:
+            assert not any(b.dominates(a) for b in points)
+
+    def test_pareto_front_sorted(self, points):
+        front = pareto_front(points)
+        latencies = [p.latency_ms for p in front]
+        assert latencies == sorted(latencies)
+
+    def test_dominance_semantics(self):
+        cfg = AcceleratorConfig.edge_default()
+        better = DesignPoint(cfg, latency_ms=1.0, energy_uj=1.0,
+                             area_mm2=1.0, utilization=0.5)
+        worse = DesignPoint(cfg, latency_ms=2.0, energy_uj=1.0,
+                            area_mm2=1.0, utilization=0.5)
+        assert better.dominates(worse)
+        assert not worse.dominates(better)
+        assert not better.dominates(better)

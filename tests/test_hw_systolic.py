@@ -1,0 +1,91 @@
+"""Systolic array: functional exactness and timing-model properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hw import AcceleratorConfig, SystolicArray
+from repro.hw.isa import GemmOp
+
+
+@pytest.fixture(scope="module")
+def array():
+    return SystolicArray(AcceleratorConfig.edge_default())
+
+
+class TestFunctional:
+    def test_bit_exact_int8(self, array):
+        rng = np.random.default_rng(0)
+        a = rng.integers(-128, 128, size=(17, 48)).astype(np.int32)
+        w = rng.integers(-128, 128, size=(48, 96)).astype(np.int32)
+        result, _ = array.run(a, w)
+        np.testing.assert_array_equal(result, a.astype(np.int64) @ w.astype(np.int64))
+
+    def test_non_multiple_dims(self, array):
+        """Dims not divisible by the array size still compute exactly."""
+        rng = np.random.default_rng(1)
+        a = rng.integers(-8, 8, size=(5, 19)).astype(np.int32)
+        w = rng.integers(-8, 8, size=(19, 23)).astype(np.int32)
+        result, _ = array.run(a, w)
+        np.testing.assert_array_equal(result, a.astype(np.int64) @ w.astype(np.int64))
+
+    def test_rejects_bad_shapes(self, array):
+        with pytest.raises(ValueError):
+            array.run(np.zeros((2, 3), np.int32), np.zeros((4, 5), np.int32))
+        with pytest.raises(ValueError):
+            array.run(np.zeros(3, np.int32), np.zeros((3, 2), np.int32))
+
+    def test_no_accumulator_overflow_at_int8(self, array):
+        """Worst-case int8 dot products stay far below int64 limits."""
+        a = np.full((4, 2048), 127, np.int32)
+        w = np.full((2048, 4), 127, np.int32)
+        result, _ = array.run(a, w)
+        assert result.max() == 127 * 127 * 2048
+
+
+class TestTiming:
+    def test_tiles_counting(self, array):
+        cfg = array.config  # 16x16
+        assert array.tiles_for(16, 16) == 1
+        assert array.tiles_for(17, 16) == 2
+        assert array.tiles_for(48, 96) == 3 * 6
+
+    def test_cycle_floor(self, array):
+        """A GEMM can never finish faster than macs / peak_macs_per_cycle."""
+        op = GemmOp("g", m=17, k=48, n=144)
+        timing = array.gemm_cycles(op)
+        assert timing.cycles >= op.macs / array.config.peak_macs_per_cycle
+
+    def test_utilization_bounds(self, array):
+        op = GemmOp("g", m=64, k=64, n=64)
+        timing = array.gemm_cycles(op)
+        assert 0.0 < timing.utilization <= 1.0
+
+    def test_large_m_improves_utilization(self, array):
+        """Streaming more rows amortizes fill/drain → higher utilization."""
+        small = array.gemm_cycles(GemmOp("g", m=4, k=64, n=64))
+        large = array.gemm_cycles(GemmOp("g", m=256, k=64, n=64))
+        assert large.utilization > small.utilization
+
+    def test_cycles_scale_with_tiles(self, array):
+        one = array.gemm_cycles(GemmOp("g", m=16, k=16, n=16))
+        four = array.gemm_cycles(GemmOp("g", m=16, k=32, n=32))
+        assert four.tiles == 4 * one.tiles
+        assert four.cycles == 4 * one.cycles
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=24),
+    st.integers(min_value=1, max_value=40),
+    st.integers(min_value=1, max_value=40),
+)
+def test_systolic_exactness_property(m, k, n):
+    """For any shape, the tiled array equals the reference matmul."""
+    array = SystolicArray(AcceleratorConfig(array_rows=8, array_cols=8))
+    rng = np.random.default_rng(m * 10000 + k * 100 + n)
+    a = rng.integers(-128, 128, size=(m, k)).astype(np.int32)
+    w = rng.integers(-128, 128, size=(k, n)).astype(np.int32)
+    result, timing = array.run(a, w)
+    np.testing.assert_array_equal(result, a.astype(np.int64) @ w.astype(np.int64))
+    assert timing.cycles >= m  # must at least stream every row once

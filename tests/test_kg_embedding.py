@@ -1,0 +1,95 @@
+"""Graph embeddings and task similarity."""
+
+import numpy as np
+import pytest
+
+from repro.data import TASK_LIBRARY, get_task
+from repro.kg import (
+    Constraint,
+    ConstraintKind,
+    KnowledgeGraph,
+    SimulatedLLM,
+    graph_feature_vector,
+    spectral_signature,
+    task_similarity,
+)
+from repro.kg.embedding import FEATURE_DIM
+
+
+def kg_with(*constraints):
+    kg = KnowledgeGraph("t")
+    for kind, family, values in constraints:
+        kg.add_constraint(Constraint(kind, family, frozenset(values), 1.0))
+    return kg
+
+
+class TestFeatureVector:
+    def test_dimension(self):
+        assert graph_feature_vector(KnowledgeGraph("t")).shape == (FEATURE_DIM,)
+
+    def test_empty_graph_zero_vector(self):
+        assert not graph_feature_vector(KnowledgeGraph("t")).any()
+
+    def test_requires_positive_excludes_negative(self):
+        kg = kg_with(
+            (ConstraintKind.REQUIRES, "color", {"red"}),
+            (ConstraintKind.EXCLUDES, "size", {"small"}),
+        )
+        vec = graph_feature_vector(kg)
+        assert vec.max() > 0 and vec.min() < 0
+
+    def test_narrow_constraint_stronger(self):
+        narrow = graph_feature_vector(
+            kg_with((ConstraintKind.REQUIRES, "color", {"red"})))
+        broad = graph_feature_vector(
+            kg_with((ConstraintKind.REQUIRES, "color", {"red", "blue", "green"})))
+        assert narrow.max() > broad.max()
+
+
+class TestSimilarity:
+    def test_self_similarity_one(self):
+        kg = kg_with((ConstraintKind.REQUIRES, "color", {"red"}))
+        assert task_similarity(kg, kg) == pytest.approx(1.0)
+
+    def test_disjoint_graphs_orthogonal(self):
+        a = kg_with((ConstraintKind.REQUIRES, "color", {"red"}))
+        b = kg_with((ConstraintKind.REQUIRES, "shape", {"ring"}))
+        assert task_similarity(a, b) == pytest.approx(0.0, abs=1e-9)
+
+    def test_both_empty_identical(self):
+        assert task_similarity(KnowledgeGraph("a"), KnowledgeGraph("b")) == 1.0
+
+    def test_one_empty_zero(self):
+        kg = kg_with((ConstraintKind.REQUIRES, "color", {"red"}))
+        assert task_similarity(kg, KnowledgeGraph("e")) == 0.0
+
+    def test_opposite_constraints_negative(self):
+        a = kg_with((ConstraintKind.REQUIRES, "color", {"red"}))
+        b = kg_with((ConstraintKind.EXCLUDES, "color", {"red"}))
+        assert task_similarity(a, b) < 0
+
+    def test_library_tasks_self_identify(self):
+        """Each task's graph is most similar to itself among the library."""
+        llm = SimulatedLLM()
+        graphs = {name: llm.generate_for_task(get_task(name))
+                  for name in TASK_LIBRARY}
+        for name, kg in graphs.items():
+            sims = {other: task_similarity(kg, other_kg)
+                    for other, other_kg in graphs.items()}
+            assert max(sims, key=sims.get) == name
+
+
+class TestSpectral:
+    def test_signature_shape_and_padding(self):
+        kg = kg_with((ConstraintKind.REQUIRES, "color", {"red"}))
+        sig = spectral_signature(kg, k=6)
+        assert sig.shape == (6,)
+        assert (sig >= -1e-9).all()  # Laplacian eigenvalues are non-negative
+
+    def test_bigger_graph_bigger_spectrum(self):
+        small = kg_with((ConstraintKind.REQUIRES, "color", {"red"}))
+        big = kg_with(
+            (ConstraintKind.REQUIRES, "color", {"red", "blue", "green"}),
+            (ConstraintKind.REQUIRES, "shape", {"ring", "cross"}),
+        )
+        assert spectral_signature(big).sum() > spectral_signature(small).sum()

@@ -1,0 +1,109 @@
+"""SimulatedLLM: text → graph extraction, noise model."""
+
+import numpy as np
+import pytest
+
+from repro.data import TASK_LIBRARY, get_task, sample_profile
+from repro.kg import (
+    ConstraintKind,
+    GraphMatcher,
+    KnowledgeGraph,
+    LLMNoiseConfig,
+    SimulatedLLM,
+)
+
+
+class TestExtraction:
+    def test_positive_clause_becomes_requires(self):
+        kg = SimulatedLLM().generate("t", "Find red and blue markers.")
+        constraint = kg.get(ConstraintKind.REQUIRES, "color")
+        assert constraint is not None
+        assert constraint.values == {"red", "blue"}
+
+    def test_negated_clause_becomes_excludes(self):
+        kg = SimulatedLLM().generate("t", "Find markers. Ignore small ones.")
+        assert kg.get(ConstraintKind.EXCLUDES, "size").values == {"small"}
+
+    def test_hedged_clause_becomes_prefers(self):
+        kg = SimulatedLLM().generate(
+            "t", "Find red containers. They are typically square."
+        )
+        prefers = kg.get(ConstraintKind.PREFERS, "shape")
+        assert prefers is not None and prefers.values == {"square"}
+        # hedge must NOT become a hard requirement
+        assert kg.get(ConstraintKind.REQUIRES, "shape") is None
+
+    def test_hedge_on_required_family_ignored(self):
+        kg = SimulatedLLM().generate(
+            "t", "Find red markers. They are usually red."
+        )
+        assert kg.get(ConstraintKind.PREFERS, "color") is None
+
+    def test_multiple_families(self):
+        kg = SimulatedLLM().generate(
+            "t", "Locate large cyan square crates with a dotted pattern."
+        )
+        assert kg.get(ConstraintKind.REQUIRES, "color").values == {"cyan"}
+        assert kg.get(ConstraintKind.REQUIRES, "shape").values == {"square"}
+        assert kg.get(ConstraintKind.REQUIRES, "size").values == {"large"}
+        assert kg.get(ConstraintKind.REQUIRES, "texture").values == {"dotted"}
+
+    def test_no_vocabulary_no_constraints(self):
+        kg = SimulatedLLM().generate("t", "Find all the interesting things.")
+        assert len(kg) == 0
+
+    def test_deterministic_without_noise(self):
+        a = SimulatedLLM().generate("t", "red square")
+        b = SimulatedLLM().generate("t", "red square")
+        assert a.to_dict() == b.to_dict()
+
+    @pytest.mark.parametrize("name", list(TASK_LIBRARY))
+    def test_library_extraction_matches_predicate(self, name):
+        """For every library task the clean text→KG→match pipeline agrees
+        with the ground-truth predicate on random profiles."""
+        task = get_task(name)
+        kg = SimulatedLLM().generate_for_task(task)
+        matcher = GraphMatcher(kg)
+        rng = np.random.default_rng(0)
+        profiles = [sample_profile(rng) for _ in range(300)]
+        truth = np.array([task.matches(p) for p in profiles])
+        predicted = matcher.match_profiles(profiles).score >= 0.5
+        assert (predicted == truth).mean() == 1.0
+
+
+class TestNoise:
+    def test_noise_config_validation(self):
+        with pytest.raises(ValueError):
+            LLMNoiseConfig(omission_rate=1.5)
+
+    def test_omission_drops_constraints(self):
+        llm = SimulatedLLM(LLMNoiseConfig(omission_rate=1.0, seed=0))
+        kg = llm.generate("t", "red square large dotted")
+        assert len(kg) == 0
+
+    def test_hallucination_adds_constraints(self):
+        llm = SimulatedLLM(LLMNoiseConfig(hallucination_rate=1.0, seed=0))
+        kg = llm.generate("t", "no attribute words here")
+        # one hallucinated REQUIRES per family
+        assert len(kg) == 5
+
+    def test_hallucination_respects_existing(self):
+        llm = SimulatedLLM(LLMNoiseConfig(hallucination_rate=1.0, seed=0))
+        kg = llm.generate("t", "red markers")
+        constraint = kg.get(ConstraintKind.REQUIRES, "color")
+        assert constraint.values == {"red"}  # real extraction untouched
+
+    def test_weight_jitter_bounds(self):
+        llm = SimulatedLLM(LLMNoiseConfig(weight_jitter=0.5, seed=1))
+        kg = llm.generate("t", "red square large")
+        for constraint in kg.constraints:
+            assert 0.05 <= constraint.weight <= 1.0
+
+    def test_noise_reproducible_by_seed(self):
+        a = SimulatedLLM(LLMNoiseConfig(omission_rate=0.5, seed=3)).generate(
+            "t", "red square large dotted thick"
+        )
+        b = SimulatedLLM(LLMNoiseConfig(omission_rate=0.5, seed=3)).generate(
+            "t", "red square large dotted thick"
+        )
+        assert a.to_dict() == b.to_dict()

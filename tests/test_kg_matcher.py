@@ -1,0 +1,155 @@
+"""Graph matcher: scoring semantics, vetoes, monotonicity (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.data.ontology import ATTRIBUTE_FAMILIES, AttributeProfile, attribute_index
+from repro.kg import Constraint, ConstraintKind, GraphMatcher, KnowledgeGraph
+
+
+def make_kg(*constraints):
+    kg = KnowledgeGraph("t")
+    for kind, family, values, weight in constraints:
+        kg.add_constraint(Constraint(kind, family, frozenset(values), weight))
+    return kg
+
+
+def uniform_probs(batch=1):
+    return {
+        family: np.full((batch, len(vocab)), 1.0 / len(vocab))
+        for family, vocab in ATTRIBUTE_FAMILIES.items()
+    }
+
+
+def concentrated(family, value, batch=1, mass=1.0):
+    probs = uniform_probs(batch)
+    vocab = ATTRIBUTE_FAMILIES[family]
+    row = np.full(len(vocab), (1.0 - mass) / (len(vocab) - 1))
+    row[attribute_index(family, value)] = mass
+    probs[family] = np.tile(row, (batch, 1))
+    return probs
+
+
+class TestScoring:
+    def test_satisfied_requires_scores_high(self):
+        kg = make_kg((ConstraintKind.REQUIRES, "color", {"red"}, 1.0))
+        score = GraphMatcher(kg).match_distributions(
+            concentrated("color", "red")).score[0]
+        assert score > 0.95
+
+    def test_violated_requires_scores_low(self):
+        kg = make_kg((ConstraintKind.REQUIRES, "color", {"red"}, 1.0))
+        score = GraphMatcher(kg).match_distributions(
+            concentrated("color", "blue")).score[0]
+        assert score < 0.05
+
+    def test_excludes_veto(self):
+        kg = make_kg((ConstraintKind.EXCLUDES, "size", {"small"}, 1.0))
+        low = GraphMatcher(kg).match_distributions(
+            concentrated("size", "small")).score[0]
+        high = GraphMatcher(kg).match_distributions(
+            concentrated("size", "large")).score[0]
+        assert low < 0.05 < 0.9 < high
+
+    def test_prefers_never_vetoes(self):
+        kg = make_kg(
+            (ConstraintKind.REQUIRES, "color", {"red"}, 1.0),
+            (ConstraintKind.PREFERS, "shape", {"diamond"}, 1.0),
+        )
+        matcher = GraphMatcher(kg, preference_gamma=0.15)
+        not_preferred = concentrated("color", "red")
+        not_preferred["shape"] = concentrated("shape", "circle")["shape"]
+        score = matcher.match_distributions(not_preferred).score[0]
+        assert score > 0.5  # dispreferred shape only dampens
+
+    def test_prefers_boosts_relative(self):
+        kg = make_kg(
+            (ConstraintKind.REQUIRES, "color", {"red"}, 1.0),
+            (ConstraintKind.PREFERS, "shape", {"diamond"}, 1.0),
+        )
+        matcher = GraphMatcher(kg)
+        preferred = concentrated("color", "red")
+        preferred["shape"] = concentrated("shape", "diamond")["shape"]
+        other = concentrated("color", "red")
+        other["shape"] = concentrated("shape", "circle")["shape"]
+        assert (matcher.match_distributions(preferred).score[0]
+                > matcher.match_distributions(other).score[0])
+
+    def test_no_constraints_accepts_all(self):
+        kg = KnowledgeGraph("t")
+        score = GraphMatcher(kg).match_distributions(uniform_probs()).score[0]
+        assert score == pytest.approx(1.0)
+
+    def test_missing_family_treated_uniform(self):
+        kg = make_kg((ConstraintKind.REQUIRES, "color", {"red"}, 1.0))
+        score = GraphMatcher(kg).match_distributions({}).score[0]
+        assert score == pytest.approx(1.0 / len(ATTRIBUTE_FAMILIES["color"]), rel=1e-3)
+
+    def test_batched_scores(self):
+        kg = make_kg((ConstraintKind.REQUIRES, "color", {"red"}, 1.0))
+        probs = uniform_probs(batch=3)
+        result = GraphMatcher(kg).match_distributions(probs)
+        assert result.score.shape == (3,)
+
+    def test_weight_modulates_strictness(self):
+        """Lower weight softens a violated requirement's penalty."""
+        strict = make_kg((ConstraintKind.REQUIRES, "color", {"red"}, 1.0),
+                         (ConstraintKind.REQUIRES, "shape", {"ring"}, 1.0))
+        soft = make_kg((ConstraintKind.REQUIRES, "color", {"red"}, 1.0),
+                       (ConstraintKind.REQUIRES, "shape", {"ring"}, 0.2))
+        probs = concentrated("color", "red")
+        probs["shape"] = concentrated("shape", "circle", mass=0.9)["shape"]
+        assert (GraphMatcher(soft).match_distributions(probs).score[0]
+                > GraphMatcher(strict).match_distributions(probs).score[0])
+
+    def test_profiles_background_scores_zero(self):
+        kg = make_kg((ConstraintKind.REQUIRES, "color", {"red"}, 1.0))
+        profile = AttributeProfile("circle", "red", "small", "solid", "none")
+        result = GraphMatcher(kg).match_profiles([profile, None])
+        assert result.score[0] > 0.9
+        assert result.score[1] == 0.0
+
+    def test_explain_readable(self):
+        kg = make_kg((ConstraintKind.REQUIRES, "color", {"red"}, 1.0))
+        text = GraphMatcher(kg).explain(concentrated("color", "red"))
+        assert "requires:color" in text and "score=" in text
+
+    def test_parameter_validation(self):
+        kg = KnowledgeGraph("t")
+        with pytest.raises(ValueError):
+            GraphMatcher(kg, preference_gamma=1.0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.floats(min_value=0.0, max_value=1.0), st.floats(min_value=0.0, max_value=1.0))
+def test_requires_score_monotone_in_mass(m1, m2):
+    """More probability mass on the allowed set ⇒ score no lower."""
+    kg = make_kg((ConstraintKind.REQUIRES, "color", {"red"}, 1.0))
+    matcher = GraphMatcher(kg)
+    lo, hi = sorted([m1, m2])
+    s_lo = matcher.match_distributions(concentrated("color", "red", mass=lo)).score[0]
+    s_hi = matcher.match_distributions(concentrated("color", "red", mass=hi)).score[0]
+    assert s_hi >= s_lo - 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.floats(min_value=0.0, max_value=1.0))
+def test_score_always_in_unit_interval(mass):
+    kg = make_kg(
+        (ConstraintKind.REQUIRES, "color", {"red"}, 0.8),
+        (ConstraintKind.EXCLUDES, "size", {"small"}, 0.6),
+        (ConstraintKind.PREFERS, "shape", {"ring"}, 0.5),
+    )
+    probs = concentrated("color", "red", mass=mass)
+    score = GraphMatcher(kg).match_distributions(probs).score[0]
+    assert 0.0 <= score <= 1.0
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.sampled_from(list(ATTRIBUTE_FAMILIES["color"])))
+def test_profile_match_agrees_with_set_membership(value):
+    kg = make_kg((ConstraintKind.REQUIRES, "color", {"red", "orange"}, 1.0))
+    profile = AttributeProfile("circle", value, "small", "solid", "none")
+    score = GraphMatcher(kg).match_profiles([profile]).score[0]
+    assert (score >= 0.5) == (value in {"red", "orange"})

@@ -1,0 +1,128 @@
+"""Few-shot refinement: omission recovery, hallucination removal."""
+
+import numpy as np
+import pytest
+
+from repro.data.ontology import AttributeProfile, sample_profile
+from repro.kg import (
+    Constraint,
+    ConstraintKind,
+    KnowledgeGraph,
+    evidence_from_profiles,
+    refine_with_examples,
+)
+
+
+def profiles_with(n, rng, **fixed):
+    return [sample_profile(rng, fixed=fixed) for _ in range(n)]
+
+
+class TestEvidence:
+    def test_counts(self):
+        rng = np.random.default_rng(0)
+        pos = profiles_with(6, rng, color="red")
+        neg = profiles_with(4, rng, color="blue") + [None, None]
+        evidence = evidence_from_profiles(pos, neg)
+        assert evidence["color"].positive_counts["red"] == 6
+        assert evidence["color"].negative_counts["blue"] == 4
+        assert evidence["color"].num_negative == 4  # Nones skipped
+
+    def test_separation_perfect(self):
+        rng = np.random.default_rng(1)
+        pos = profiles_with(5, rng, color="red")
+        neg = profiles_with(5, rng, color="green")
+        assert evidence_from_profiles(pos, neg)["color"].separation() == 1.0
+
+    def test_separation_zero_when_overlapping(self):
+        rng = np.random.default_rng(2)
+        pos = profiles_with(5, rng, color="red")
+        neg = profiles_with(5, rng, color="red")
+        assert evidence_from_profiles(pos, neg)["color"].separation() == 0.0
+
+
+class TestRefinement:
+    def test_recovers_omitted_constraint(self):
+        """Text said nothing about color; examples are all red → REQUIRES."""
+        kg = KnowledgeGraph("t")
+        rng = np.random.default_rng(0)
+        pos = profiles_with(8, rng, color="red")
+        neg = profiles_with(8, rng, color="blue")
+        refined = refine_with_examples(kg, pos, neg)
+        constraint = refined.get(ConstraintKind.REQUIRES, "color")
+        assert constraint is not None
+        assert constraint.values == {"red"}
+
+    def test_widens_hallucinated_constraint(self):
+        """Graph requires size=large but positives are medium+large → widen."""
+        kg = KnowledgeGraph("t")
+        kg.add_constraint(Constraint(ConstraintKind.REQUIRES, "size",
+                                     frozenset({"large"}), 1.0))
+        rng = np.random.default_rng(1)
+        pos = (profiles_with(4, rng, size="medium")
+               + profiles_with(4, rng, size="large"))
+        refined = refine_with_examples(kg, pos, [])
+        assert refined.get(ConstraintKind.REQUIRES, "size").values == {
+            "medium", "large"}
+
+    def test_dissolves_fully_contradicted_constraint(self):
+        """Positives span the whole vocabulary → constraint dropped."""
+        kg = KnowledgeGraph("t")
+        kg.add_constraint(Constraint(ConstraintKind.REQUIRES, "size",
+                                     frozenset({"large"}), 1.0))
+        rng = np.random.default_rng(2)
+        pos = (profiles_with(3, rng, size="small")
+               + profiles_with(3, rng, size="medium")
+               + profiles_with(3, rng, size="large"))
+        refined = refine_with_examples(kg, pos, [])
+        assert refined.get(ConstraintKind.REQUIRES, "size") is None
+
+    def test_removes_contradicted_exclusion(self):
+        kg = KnowledgeGraph("t")
+        kg.add_constraint(Constraint(ConstraintKind.EXCLUDES, "texture",
+                                     frozenset({"striped"}), 1.0))
+        rng = np.random.default_rng(3)
+        pos = profiles_with(5, rng, texture="striped")
+        refined = refine_with_examples(kg, pos, [])
+        assert refined.get(ConstraintKind.EXCLUDES, "texture") is None
+
+    def test_keeps_consistent_constraints(self):
+        kg = KnowledgeGraph("t")
+        kg.add_constraint(Constraint(ConstraintKind.REQUIRES, "color",
+                                     frozenset({"red"}), 1.0))
+        rng = np.random.default_rng(4)
+        pos = profiles_with(6, rng, color="red")
+        refined = refine_with_examples(kg, pos, [])
+        assert refined.get(ConstraintKind.REQUIRES, "color").values == {"red"}
+
+    def test_no_support_returns_copy(self):
+        kg = KnowledgeGraph("t")
+        kg.add_constraint(Constraint(ConstraintKind.REQUIRES, "color",
+                                     frozenset({"red"}), 1.0))
+        refined = refine_with_examples(kg, [], [])
+        assert refined.to_dict() == kg.to_dict()
+        assert refined is not kg
+
+    def test_original_graph_untouched(self):
+        kg = KnowledgeGraph("t")
+        rng = np.random.default_rng(5)
+        refine_with_examples(kg, profiles_with(6, rng, color="red"),
+                             profiles_with(6, rng, color="blue"))
+        assert len(kg) == 0
+
+    def test_broad_support_not_constrained(self):
+        """Positives covering most of a vocabulary add no constraint."""
+        kg = KnowledgeGraph("t")
+        rng = np.random.default_rng(6)
+        pos = [sample_profile(rng) for _ in range(40)]  # colors all over
+        neg = [sample_profile(rng) for _ in range(40)]
+        refined = refine_with_examples(kg, pos, neg)
+        assert refined.get(ConstraintKind.REQUIRES, "color") is None
+
+    def test_weak_separation_not_constrained(self):
+        """Same value distribution in positives and negatives → no edge."""
+        kg = KnowledgeGraph("t")
+        rng = np.random.default_rng(7)
+        pos = profiles_with(8, rng, color="red")
+        neg = profiles_with(8, rng, color="red")
+        refined = refine_with_examples(kg, pos, neg)
+        assert refined.get(ConstraintKind.REQUIRES, "color") is None

@@ -1,0 +1,109 @@
+"""Knowledge-graph schema: constraints, merging, serialization."""
+
+import networkx as nx
+import pytest
+
+from repro.data.tasks import get_task
+from repro.kg import Constraint, ConstraintKind, KnowledgeGraph
+
+
+def req(family, values, weight=1.0):
+    return Constraint(ConstraintKind.REQUIRES, family, frozenset(values), weight)
+
+
+class TestConstraint:
+    def test_validation_family(self):
+        with pytest.raises(KeyError):
+            Constraint(ConstraintKind.REQUIRES, "flavor", frozenset({"sweet"}))
+
+    def test_validation_values(self):
+        with pytest.raises(ValueError):
+            Constraint(ConstraintKind.REQUIRES, "color", frozenset({"puce"}))
+
+    def test_validation_empty(self):
+        with pytest.raises(ValueError):
+            Constraint(ConstraintKind.REQUIRES, "color", frozenset())
+
+    def test_validation_weight(self):
+        with pytest.raises(ValueError):
+            req("color", {"red"}, weight=0.0)
+        with pytest.raises(ValueError):
+            req("color", {"red"}, weight=1.5)
+
+
+class TestKnowledgeGraph:
+    def test_add_and_query(self):
+        kg = KnowledgeGraph("t")
+        kg.add_constraint(req("color", {"red"}))
+        assert len(kg) == 1
+        assert kg.get(ConstraintKind.REQUIRES, "color").values == {"red"}
+        assert kg.get(ConstraintKind.EXCLUDES, "color") is None
+
+    def test_merge_same_kind_family(self):
+        kg = KnowledgeGraph("t")
+        kg.add_constraint(req("color", {"red"}, 0.5))
+        kg.add_constraint(req("color", {"blue"}, 0.9))
+        merged = kg.get(ConstraintKind.REQUIRES, "color")
+        assert merged.values == {"red", "blue"}
+        assert merged.weight == 0.9
+        assert len(kg) == 1
+
+    def test_requires_and_excludes_coexist(self):
+        kg = KnowledgeGraph("t")
+        kg.add_constraint(req("color", {"red"}))
+        kg.add_constraint(
+            Constraint(ConstraintKind.EXCLUDES, "color", frozenset({"blue"}))
+        )
+        assert len(kg) == 2
+
+    def test_remove(self):
+        kg = KnowledgeGraph("t")
+        kg.add_constraint(req("size", {"large"}))
+        assert kg.remove_constraint(ConstraintKind.REQUIRES, "size")
+        assert not kg.remove_constraint(ConstraintKind.REQUIRES, "size")
+        assert len(kg) == 0
+
+    def test_replace(self):
+        kg = KnowledgeGraph("t")
+        kg.add_constraint(req("size", {"large"}))
+        kg.replace_constraint(req("size", {"small"}))
+        assert kg.get(ConstraintKind.REQUIRES, "size").values == {"small"}
+
+    def test_constrained_families_sorted(self):
+        kg = KnowledgeGraph("t")
+        kg.add_constraint(req("size", {"large"}))
+        kg.add_constraint(req("color", {"red"}))
+        assert kg.constrained_families() == ["color", "size"]
+
+    def test_networkx_view_structure(self):
+        kg = KnowledgeGraph("mytask")
+        kg.add_constraint(req("color", {"red", "blue"}))
+        g = kg.graph
+        assert isinstance(g, nx.DiGraph)
+        assert g.nodes["task:mytask"]["kind"] == "task"
+        assert g.has_edge("task:mytask", "family:color")
+        assert g.has_edge("family:color", "value:color=red")
+        assert g.has_edge("family:color", "value:color=blue")
+
+    def test_dict_roundtrip(self):
+        kg = KnowledgeGraph("t", "mission text")
+        kg.add_constraint(req("color", {"red"}, 0.7))
+        kg.add_constraint(
+            Constraint(ConstraintKind.EXCLUDES, "size", frozenset({"small"}), 0.4)
+        )
+        restored = KnowledgeGraph.from_dict(kg.to_dict())
+        assert restored.task_name == "t"
+        assert restored.mission_text == "mission text"
+        assert restored.to_dict() == kg.to_dict()
+
+    def test_from_predicate_oracle(self):
+        task = get_task("sterile_supplies")
+        kg = KnowledgeGraph.from_predicate(task.name, task.predicate)
+        assert set(kg.constrained_families()) == set(
+            task.predicate.constrained_families
+        )
+
+    def test_repr_mentions_constraints(self):
+        kg = KnowledgeGraph("t")
+        kg.add_constraint(req("color", {"red"}))
+        assert "requires" in repr(kg)

@@ -1,0 +1,149 @@
+"""Layers: Linear, LayerNorm, Dropout, Embedding — semantics and gradients."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Dropout, Embedding, Identity, LayerNorm, Linear
+from repro.nn.init import (
+    kaiming_uniform,
+    truncated_normal,
+    xavier_normal,
+    xavier_uniform,
+)
+from repro.tensor import Tensor, check_gradient, randn
+
+
+class TestLinear:
+    def test_shapes(self):
+        layer = Linear(5, 3, rng=np.random.default_rng(0))
+        out = layer(randn(2, 5, rng=np.random.default_rng(1)))
+        assert out.shape == (2, 3)
+
+    def test_batched_input(self):
+        layer = Linear(5, 3, rng=np.random.default_rng(0))
+        out = layer(randn(2, 7, 5, rng=np.random.default_rng(1)))
+        assert out.shape == (2, 7, 3)
+
+    def test_no_bias(self):
+        layer = Linear(4, 2, bias=False, rng=np.random.default_rng(0))
+        assert layer.bias is None
+        x = np.zeros((1, 4), np.float32)
+        np.testing.assert_array_equal(layer(Tensor(x)).data, np.zeros((1, 2)))
+
+    def test_matches_manual(self):
+        layer = Linear(4, 2, rng=np.random.default_rng(0))
+        x = randn(3, 4, rng=np.random.default_rng(2))
+        expected = x.data @ layer.weight.data.T + layer.bias.data
+        np.testing.assert_allclose(layer(x).data, expected, rtol=1e-5)
+
+    def test_gradients(self):
+        layer = Linear(4, 3, rng=np.random.default_rng(0))
+        x = randn(2, 4, rng=np.random.default_rng(1), requires_grad=True)
+        ok, err = check_gradient(lambda t: layer(t), [x])
+        assert ok, err
+        ok, err = check_gradient(lambda w: x @ w.T + layer.bias, [layer.weight])
+        assert ok, err
+
+    def test_weight_layout(self):
+        layer = Linear(7, 3, rng=np.random.default_rng(0))
+        assert layer.weight.shape == (3, 7)  # (out, in) for per-channel quant
+
+
+class TestLayerNorm:
+    def test_normalizes(self):
+        ln = LayerNorm(16)
+        x = randn(4, 16, rng=np.random.default_rng(0), scale=5.0)
+        out = ln(x).data
+        np.testing.assert_allclose(out.mean(axis=-1), 0.0, atol=1e-4)
+        np.testing.assert_allclose(out.std(axis=-1), 1.0, atol=1e-2)
+
+    def test_affine_params_applied(self):
+        ln = LayerNorm(4)
+        ln.weight.data = np.full(4, 2.0, np.float32)
+        ln.bias.data = np.full(4, 1.0, np.float32)
+        x = randn(2, 4, rng=np.random.default_rng(0))
+        out = ln(x).data
+        np.testing.assert_allclose(out.mean(axis=-1), 1.0, atol=1e-4)
+
+    def test_gradients(self):
+        ln = LayerNorm(6)
+        x = randn(3, 6, rng=np.random.default_rng(1), requires_grad=True)
+        ok, err = check_gradient(lambda t: ln(t), [x])
+        assert ok, err
+
+    def test_constant_input_stable(self):
+        ln = LayerNorm(8)
+        out = ln(Tensor(np.full((2, 8), 3.0, np.float32))).data
+        assert np.isfinite(out).all()
+
+
+class TestDropout:
+    def test_eval_is_identity(self):
+        drop = Dropout(0.5, rng=np.random.default_rng(0))
+        drop.eval()
+        x = randn(4, 4, rng=np.random.default_rng(1))
+        np.testing.assert_array_equal(drop(x).data, x.data)
+
+    def test_train_zeroes_fraction(self):
+        drop = Dropout(0.5, rng=np.random.default_rng(0))
+        x = Tensor(np.ones((100, 100), np.float32))
+        out = drop(x).data
+        zero_fraction = (out == 0).mean()
+        assert 0.4 < zero_fraction < 0.6
+
+    def test_inverted_scaling(self):
+        drop = Dropout(0.25, rng=np.random.default_rng(0))
+        x = Tensor(np.ones((200, 200), np.float32))
+        assert abs(drop(x).data.mean() - 1.0) < 0.02
+
+    def test_p_zero_identity(self):
+        drop = Dropout(0.0)
+        x = randn(3, 3, rng=np.random.default_rng(0))
+        np.testing.assert_array_equal(drop(x).data, x.data)
+
+    def test_invalid_p(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+
+
+class TestEmbeddingAndIdentity:
+    def test_embedding_lookup(self):
+        emb = Embedding(10, 4, rng=np.random.default_rng(0))
+        out = emb(np.array([1, 1, 3]))
+        assert out.shape == (3, 4)
+        np.testing.assert_array_equal(out.data[0], out.data[1])
+
+    def test_embedding_gradient_accumulates_duplicates(self):
+        emb = Embedding(5, 3, rng=np.random.default_rng(0))
+        out = emb(np.array([2, 2]))
+        out.sum().backward()
+        np.testing.assert_allclose(emb.weight.grad[2], 2.0 * np.ones(3))
+        np.testing.assert_allclose(emb.weight.grad[0], np.zeros(3))
+
+    def test_identity(self):
+        x = randn(2, 2, rng=np.random.default_rng(0))
+        assert Identity()(x) is x
+
+
+class TestInitializers:
+    def test_xavier_uniform_bound(self):
+        w = xavier_uniform((100, 50), np.random.default_rng(0))
+        bound = np.sqrt(6.0 / 150)
+        assert np.abs(w).max() <= bound + 1e-6
+
+    def test_xavier_normal_std(self):
+        w = xavier_normal((400, 400), np.random.default_rng(0))
+        assert abs(w.std() - np.sqrt(2.0 / 800)) < 2e-3
+
+    def test_kaiming_finite(self):
+        w = kaiming_uniform((64, 64), np.random.default_rng(0))
+        assert np.isfinite(w).all()
+
+    def test_truncated_normal_bounded(self):
+        w = truncated_normal((1000,), np.random.default_rng(0), std=0.02)
+        assert np.abs(w).max() <= 2.0 * 0.02 + 1e-9
+
+    def test_deterministic_given_seed(self):
+        a = xavier_uniform((8, 8), np.random.default_rng(3))
+        b = xavier_uniform((8, 8), np.random.default_rng(3))
+        np.testing.assert_array_equal(a, b)

@@ -1,0 +1,139 @@
+"""Loss functions: values against manual computation, gradients, edge cases."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    binary_cross_entropy_with_logits,
+    cross_entropy,
+    kl_divergence,
+    l1_loss,
+    mse_loss,
+    soft_target_loss,
+)
+from repro.nn.losses import accuracy
+from repro.tensor import Tensor, check_gradient, randn
+
+
+class TestCrossEntropy:
+    def test_matches_manual(self):
+        logits = Tensor(np.array([[2.0, 1.0, 0.0], [0.0, 0.0, 5.0]], np.float32))
+        targets = np.array([0, 2])
+        loss = cross_entropy(logits, targets).item()
+        probs = np.exp(logits.data) / np.exp(logits.data).sum(-1, keepdims=True)
+        manual = -np.log([probs[0, 0], probs[1, 2]]).mean()
+        assert loss == pytest.approx(manual, rel=1e-5)
+
+    def test_perfect_prediction_near_zero(self):
+        logits = Tensor(np.array([[100.0, 0.0]], np.float32))
+        assert cross_entropy(logits, np.array([0])).item() < 1e-4
+
+    def test_gradient(self):
+        logits = randn(4, 5, rng=np.random.default_rng(0), requires_grad=True)
+        targets = np.array([0, 1, 2, 3])
+        ok, err = check_gradient(lambda t: cross_entropy(t, targets), [logits])
+        assert ok, err
+
+    def test_label_smoothing_increases_loss_on_confident(self):
+        logits = Tensor(np.array([[50.0, 0.0, 0.0]], np.float32))
+        plain = cross_entropy(logits, np.array([0])).item()
+        smoothed = cross_entropy(logits, np.array([0]), label_smoothing=0.1).item()
+        assert smoothed > plain
+
+    def test_uniform_logits_log_c(self):
+        logits = Tensor(np.zeros((2, 4), np.float32))
+        assert cross_entropy(logits, np.array([1, 3])).item() == pytest.approx(
+            np.log(4), rel=1e-5
+        )
+
+    def test_accepts_tensor_targets(self):
+        logits = Tensor(np.zeros((2, 3), np.float32))
+        loss = cross_entropy(logits, Tensor(np.array([0.0, 1.0])))
+        assert np.isfinite(loss.item())
+
+
+class TestRegressionLosses:
+    def test_mse_value(self):
+        pred = Tensor(np.array([1.0, 3.0], np.float32), requires_grad=True)
+        assert mse_loss(pred, np.array([0.0, 0.0])).item() == pytest.approx(5.0)
+
+    def test_mse_gradient(self):
+        pred = randn(3, 3, rng=np.random.default_rng(0), requires_grad=True)
+        target = np.zeros((3, 3), np.float32)
+        ok, err = check_gradient(lambda p: mse_loss(p, target), [pred])
+        assert ok, err
+
+    def test_l1_value(self):
+        pred = Tensor(np.array([2.0, -2.0], np.float32))
+        assert l1_loss(pred, np.zeros(2)).item() == pytest.approx(2.0)
+
+    def test_target_is_detached(self):
+        pred = randn(2, 2, rng=np.random.default_rng(0), requires_grad=True)
+        target = randn(2, 2, rng=np.random.default_rng(1), requires_grad=True)
+        mse_loss(pred, target).backward()
+        assert pred.grad is not None
+        assert target.grad is None
+
+
+class TestKLDivergence:
+    def test_zero_when_identical(self):
+        logits = randn(3, 4, rng=np.random.default_rng(0), requires_grad=True)
+        kd = kl_divergence(logits, logits.data.copy(), temperature=2.0)
+        assert kd.item() == pytest.approx(0.0, abs=1e-5)
+
+    def test_positive_when_different(self):
+        student = Tensor(np.array([[0.0, 1.0]], np.float32), requires_grad=True)
+        teacher = np.array([[5.0, -5.0]], np.float32)
+        assert kl_divergence(student, teacher).item() > 0.1
+
+    def test_gradient(self):
+        student = randn(3, 4, rng=np.random.default_rng(0), requires_grad=True)
+        teacher = np.random.default_rng(1).standard_normal((3, 4)).astype(np.float32)
+        ok, err = check_gradient(
+            lambda s: kl_divergence(s, teacher, temperature=2.0), [student],
+            atol=2e-2,
+        )
+        assert ok, err
+
+    def test_temperature_scaling_bounded(self):
+        """T² scaling keeps magnitudes comparable across temperatures."""
+        student = Tensor(np.array([[0.0, 2.0, -1.0]], np.float32), requires_grad=True)
+        teacher = np.array([[1.0, 0.0, 0.5]], np.float32)
+        low = kl_divergence(student, teacher, temperature=1.0).item()
+        high = kl_divergence(student, teacher, temperature=4.0).item()
+        assert 0.05 < high / max(low, 1e-9) < 20.0
+
+    def test_soft_target_mix(self):
+        student = randn(2, 3, rng=np.random.default_rng(0), requires_grad=True)
+        teacher = np.zeros((2, 3), np.float32)
+        targets = np.array([0, 1])
+        pure_ce = soft_target_loss(student, teacher, targets, alpha=0.0).item()
+        assert pure_ce == pytest.approx(
+            cross_entropy(student, targets).item(), rel=1e-5
+        )
+        pure_kd = soft_target_loss(student, teacher, targets, alpha=1.0).item()
+        assert pure_kd == pytest.approx(
+            kl_divergence(student, teacher, temperature=2.0).item(), rel=1e-5
+        )
+
+
+class TestBCEAndAccuracy:
+    def test_bce_matches_manual(self):
+        logits = Tensor(np.array([0.0, 2.0], np.float32))
+        targets = np.array([1.0, 0.0], np.float32)
+        expected = -(np.log(0.5) + np.log(1 - 1 / (1 + np.exp(-2.0)))) / 2
+        assert binary_cross_entropy_with_logits(logits, targets).item() == pytest.approx(
+            expected, rel=1e-4
+        )
+
+    def test_bce_gradient(self):
+        logits = randn(5, rng=np.random.default_rng(0), requires_grad=True)
+        targets = np.array([1, 0, 1, 0, 1], np.float32)
+        ok, err = check_gradient(
+            lambda t: binary_cross_entropy_with_logits(t, targets), [logits]
+        )
+        assert ok, err
+
+    def test_accuracy(self):
+        logits = np.array([[1.0, 0.0], [0.0, 1.0], [1.0, 0.0]])
+        assert accuracy(logits, np.array([0, 1, 1])) == pytest.approx(2 / 3)

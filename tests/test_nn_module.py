@@ -1,0 +1,158 @@
+"""Module system: registration, traversal, modes, state dicts, buffers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Linear, LayerNorm, Module, Parameter, Sequential
+from repro.nn import save_state_dict, load_state_dict, state_dict_equal
+from repro.tensor import Tensor
+
+
+class Leaf(Module):
+    def __init__(self):
+        super().__init__()
+        self.w = Parameter(np.ones((2, 2)))
+        self.register_buffer("running", np.zeros(3))
+
+    def forward(self, x):
+        return x @ self.w
+
+
+class Tree(Module):
+    def __init__(self):
+        super().__init__()
+        self.left = Leaf()
+        self.right = Leaf()
+        self.top = Parameter(np.zeros(4))
+
+    def forward(self, x):
+        return self.left(x) + self.right(x)
+
+
+class TestRegistration:
+    def test_parameters_discovered(self):
+        tree = Tree()
+        names = {name for name, _ in tree.named_parameters()}
+        assert names == {"top", "left.w", "right.w"}
+
+    def test_num_parameters(self):
+        assert Tree().num_parameters() == 4 + 4 + 4
+
+    def test_modules_traversal(self):
+        tree = Tree()
+        kinds = [type(m).__name__ for _, m in tree.named_modules()]
+        assert kinds == ["Tree", "Leaf", "Leaf"]
+
+    def test_children(self):
+        assert len(list(Tree().children())) == 2
+
+    def test_buffers_discovered(self):
+        names = {name for name, _ in Tree().named_buffers()}
+        assert names == {"left.running", "right.running"}
+
+    def test_buffer_attribute_access(self):
+        leaf = Leaf()
+        np.testing.assert_array_equal(leaf.running, np.zeros(3))
+
+    def test_set_buffer_updates(self):
+        leaf = Leaf()
+        leaf.set_buffer("running", np.arange(3))
+        np.testing.assert_array_equal(leaf.running, np.arange(3))
+
+    def test_set_unknown_buffer_raises(self):
+        with pytest.raises(KeyError):
+            Leaf().set_buffer("nope", np.zeros(1))
+
+
+class TestModes:
+    def test_train_eval_propagates(self):
+        tree = Tree()
+        tree.eval()
+        assert not tree.left.training and not tree.right.training
+        tree.train()
+        assert tree.left.training
+
+    def test_zero_grad(self):
+        tree = Tree()
+        for p in tree.parameters():
+            p.grad = np.ones_like(p.data)
+        tree.zero_grad()
+        assert all(p.grad is None for p in tree.parameters())
+
+
+class TestStateDict:
+    def test_roundtrip_identity(self):
+        a, b = Tree(), Tree()
+        for p in a.parameters():
+            p.data = p.data + 1.0
+        b.load_state_dict(a.state_dict())
+        assert state_dict_equal(a.state_dict(), b.state_dict())
+
+    def test_buffer_roundtrip(self):
+        a, b = Leaf(), Leaf()
+        a.set_buffer("running", np.array([1.0, 2.0, 3.0]))
+        b.load_state_dict(a.state_dict())
+        np.testing.assert_array_equal(b.running, [1.0, 2.0, 3.0])
+
+    def test_missing_key_strict(self):
+        tree = Tree()
+        state = tree.state_dict()
+        del state["top"]
+        with pytest.raises(KeyError):
+            tree.load_state_dict(state)
+
+    def test_unexpected_key_strict(self):
+        tree = Tree()
+        state = tree.state_dict()
+        state["ghost"] = np.zeros(1)
+        with pytest.raises(KeyError):
+            tree.load_state_dict(state)
+
+    def test_shape_mismatch(self):
+        tree = Tree()
+        state = tree.state_dict()
+        state["top"] = np.zeros(9)
+        with pytest.raises(ValueError):
+            tree.load_state_dict(state)
+
+    def test_non_strict_tolerates_extra(self):
+        tree = Tree()
+        state = tree.state_dict()
+        state["ghost"] = np.zeros(1)
+        tree.load_state_dict(state, strict=False)
+
+    def test_file_roundtrip(self, tmp_path):
+        tree = Tree()
+        path = str(tmp_path / "ckpt.npz")
+        save_state_dict(tree.state_dict(), path)
+        loaded = load_state_dict(path)
+        assert state_dict_equal(tree.state_dict(), loaded)
+
+    def test_state_dict_is_copy(self):
+        tree = Tree()
+        state = tree.state_dict()
+        state["top"][:] = 99.0
+        assert tree.top.data.max() == 0.0
+
+    def test_state_dict_equal_detects_diff(self):
+        a, b = Tree().state_dict(), Tree().state_dict()
+        b["top"] = b["top"] + 1e-3
+        assert not state_dict_equal(a, b)
+        assert state_dict_equal(a, b, atol=1e-2)
+
+
+class TestSequential:
+    def test_order_and_len(self):
+        rng = np.random.default_rng(0)
+        seq = Sequential(Linear(4, 8, rng=rng), LayerNorm(8), Linear(8, 2, rng=rng))
+        assert len(seq) == 3
+        out = seq(Tensor(np.zeros((1, 4), np.float32)))
+        assert out.shape == (1, 2)
+
+    def test_getitem(self):
+        seq = Sequential(LayerNorm(4), LayerNorm(4))
+        assert isinstance(seq[1], LayerNorm)
+
+    def test_iteration(self):
+        seq = Sequential(LayerNorm(4), LayerNorm(4))
+        assert len(list(seq)) == 2

@@ -1,0 +1,154 @@
+"""Optimizers and schedules: convergence on known problems, invariants."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Parameter
+from repro.optim import (
+    SGD,
+    Adam,
+    AdamW,
+    ConstantSchedule,
+    CosineSchedule,
+    StepSchedule,
+    WarmupCosineSchedule,
+    clip_grad_norm,
+)
+from repro.tensor import Tensor
+
+
+def quadratic_step(param, optimizer, target):
+    """One gradient step on 0.5*||p - target||²."""
+    diff = param - Tensor(target)
+    loss = (diff * diff).sum() * 0.5
+    optimizer.zero_grad()
+    loss.backward()
+    optimizer.step()
+    return loss.item()
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        p = Parameter(np.array([5.0, -3.0]))
+        target = np.array([1.0, 1.0], np.float32)
+        opt = SGD([p], lr=0.1)
+        for _ in range(100):
+            quadratic_step(p, opt, target)
+        np.testing.assert_allclose(p.data, target, atol=1e-3)
+
+    def test_momentum_faster_than_plain(self):
+        def run(momentum):
+            p = Parameter(np.array([10.0]))
+            opt = SGD([p], lr=0.02, momentum=momentum)
+            for _ in range(50):
+                quadratic_step(p, opt, np.zeros(1, np.float32))
+            return abs(float(p.data[0]))
+
+        assert run(0.9) < run(0.0)
+
+    def test_weight_decay_shrinks(self):
+        p = Parameter(np.array([1.0]))
+        opt = SGD([p], lr=0.1, weight_decay=0.5)
+        # zero data gradient: decay alone should shrink the weight
+        p.grad = np.zeros(1, np.float32)
+        opt.step()
+        assert abs(float(p.data[0])) < 1.0
+
+    def test_nesterov_requires_momentum(self):
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.zeros(1))], lr=0.1, nesterov=True)
+
+    def test_skips_parameters_without_grad(self):
+        p = Parameter(np.array([1.0]))
+        opt = SGD([p], lr=0.1)
+        opt.step()  # no grad set
+        assert float(p.data[0]) == 1.0
+
+    def test_empty_parameter_list_rejected(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        p = Parameter(np.array([5.0, -3.0]))
+        target = np.array([1.0, 1.0], np.float32)
+        opt = Adam([p], lr=0.1)
+        for _ in range(200):
+            quadratic_step(p, opt, target)
+        np.testing.assert_allclose(p.data, target, atol=1e-2)
+
+    def test_bias_correction_first_step(self):
+        """First Adam step magnitude ≈ lr regardless of gradient scale."""
+        for scale in (1e-3, 1.0, 1e3):
+            p = Parameter(np.array([0.0]))
+            opt = Adam([p], lr=0.01)
+            p.grad = np.array([scale], np.float32)
+            opt.step()
+            assert abs(abs(float(p.data[0])) - 0.01) < 1e-3
+
+    def test_adamw_decay_decoupled(self):
+        p_adamw = Parameter(np.array([1.0]))
+        opt = AdamW([p_adamw], lr=0.1, weight_decay=0.5)
+        p_adamw.grad = np.zeros(1, np.float32)
+        opt.step()
+        # decoupled decay multiplies by (1 - lr*wd) = 0.95
+        assert float(p_adamw.data[0]) == pytest.approx(0.95, rel=1e-5)
+
+
+class TestClipGradNorm:
+    def test_no_clip_below_threshold(self):
+        p = Parameter(np.zeros(3))
+        p.grad = np.array([0.1, 0.1, 0.1], np.float32)
+        norm = clip_grad_norm([p], max_norm=10.0)
+        assert norm == pytest.approx(np.sqrt(0.03), rel=1e-5)
+        np.testing.assert_allclose(p.grad, 0.1)
+
+    def test_clips_above_threshold(self):
+        p = Parameter(np.zeros(2))
+        p.grad = np.array([3.0, 4.0], np.float32)  # norm 5
+        clip_grad_norm([p], max_norm=1.0)
+        assert np.linalg.norm(p.grad) == pytest.approx(1.0, rel=1e-5)
+
+    def test_handles_missing_grads(self):
+        assert clip_grad_norm([Parameter(np.zeros(2))], 1.0) == 0.0
+
+
+class TestSchedules:
+    def test_constant(self):
+        s = ConstantSchedule(0.5)
+        assert s(0) == s(1000) == 0.5
+
+    def test_step_schedule(self):
+        s = StepSchedule(1.0, step_size=10, gamma=0.1)
+        assert s(0) == 1.0
+        assert s(10) == pytest.approx(0.1)
+        assert s(25) == pytest.approx(0.01)
+
+    def test_cosine_endpoints(self):
+        s = CosineSchedule(1.0, total_steps=100, min_lr=0.1)
+        assert s(0) == pytest.approx(1.0)
+        assert s(100) == pytest.approx(0.1)
+        assert s(50) == pytest.approx(0.55, abs=1e-6)
+
+    def test_cosine_monotone_decreasing(self):
+        s = CosineSchedule(1.0, total_steps=50)
+        values = [s(i) for i in range(51)]
+        assert all(a >= b for a, b in zip(values, values[1:]))
+
+    def test_warmup_then_decay(self):
+        s = WarmupCosineSchedule(1.0, total_steps=100, warmup_steps=10)
+        warm = [s(i) for i in range(10)]
+        assert all(a < b for a, b in zip(warm, warm[1:]))  # increasing
+        assert s(9) == pytest.approx(1.0)
+        assert s(99) < 0.01
+
+    def test_warmup_validation(self):
+        with pytest.raises(ValueError):
+            WarmupCosineSchedule(1.0, total_steps=10, warmup_steps=10)
+
+    def test_apply_sets_lr(self):
+        p = Parameter(np.zeros(1))
+        opt = SGD([p], lr=1.0)
+        CosineSchedule(1.0, 10).apply(opt, 10)
+        assert opt.lr == pytest.approx(0.0)

@@ -1,0 +1,127 @@
+"""QuantizedLinear and fake quantization (QAT)."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Linear
+from repro.quant import (
+    FakeQuantize,
+    MinMaxObserver,
+    QuantSpec,
+    QuantizedLinear,
+    compute_qparams,
+    fake_quantize,
+)
+from repro.tensor import Tensor, randn
+
+
+def make_act_params(x, bits=8):
+    spec = QuantSpec(bits=bits, symmetric=False)
+    return compute_qparams(float(x.min()), float(x.max()), spec)
+
+
+class TestQuantizedLinear:
+    def test_w8a8_close_to_float(self):
+        rng = np.random.default_rng(0)
+        linear = Linear(32, 16, rng=rng)
+        x = rng.standard_normal((8, 32)).astype(np.float32)
+        qlinear = QuantizedLinear.from_linear(linear, make_act_params(x))
+        y_float = x @ linear.weight.data.T + linear.bias.data
+        y_quant = qlinear(x)
+        scale = np.abs(y_float).max()
+        assert np.abs(y_quant - y_float).max() / scale < 0.05
+
+    def test_integer_path_equals_call(self):
+        """__call__ must be exactly quantize → integer GEMM → requantize."""
+        rng = np.random.default_rng(1)
+        linear = Linear(16, 8, rng=rng)
+        x = rng.standard_normal((4, 16)).astype(np.float32)
+        qlinear = QuantizedLinear.from_linear(linear, make_act_params(x))
+        manual = qlinear.forward_integer(qlinear.quantize_input(x))
+        np.testing.assert_allclose(qlinear(x), manual, atol=1e-6)
+
+    def test_zero_point_correction_exact(self):
+        """Asymmetric activation zero-point is removed exactly, not approximately."""
+        rng = np.random.default_rng(2)
+        linear = Linear(8, 4, bias=False, rng=rng)
+        x = np.abs(rng.standard_normal((4, 8))).astype(np.float32) + 1.0  # all positive
+        qlinear = QuantizedLinear.from_linear(linear, make_act_params(x))
+        x_q = qlinear.quantize_input(x)
+        dequant_x = (x_q - int(qlinear.act_params.zero_point)) * float(qlinear.act_params.scale)
+        expected = dequant_x @ qlinear.dequantized_weight().T
+        np.testing.assert_allclose(qlinear(x), expected, rtol=1e-4, atol=1e-5)
+
+    def test_batched_nd_input(self):
+        rng = np.random.default_rng(3)
+        linear = Linear(8, 4, rng=rng)
+        x = rng.standard_normal((2, 5, 8)).astype(np.float32)
+        qlinear = QuantizedLinear.from_linear(linear, make_act_params(x))
+        assert qlinear(x).shape == (2, 5, 4)
+
+    def test_lower_bits_more_error(self):
+        rng = np.random.default_rng(4)
+        linear = Linear(64, 32, rng=rng)
+        x = rng.standard_normal((16, 64)).astype(np.float32)
+        y_float = x @ linear.weight.data.T + linear.bias.data
+        errors = []
+        for bits in (2, 4, 8):
+            spec = QuantSpec(bits=bits, symmetric=True, per_channel=True, axis=0)
+            q = QuantizedLinear.from_linear(linear, make_act_params(x), spec)
+            errors.append(float(np.abs(q(x) - y_float).mean()))
+        assert errors[0] > errors[1] > errors[2]
+
+    def test_rejects_per_channel_activations(self):
+        rng = np.random.default_rng(5)
+        linear = Linear(4, 2, rng=rng)
+        spec = QuantSpec(bits=8, per_channel=True, axis=0)
+        act_params = compute_qparams(np.zeros(2), np.ones(2), spec)
+        with pytest.raises(ValueError):
+            QuantizedLinear.from_linear(linear, act_params)
+
+    def test_properties(self):
+        rng = np.random.default_rng(6)
+        linear = Linear(10, 7, rng=rng)
+        q = QuantizedLinear.from_linear(
+            linear, make_act_params(np.ones((1, 10), np.float32)))
+        assert q.in_features == 10 and q.out_features == 7
+        assert q.weight_bits == 8 and q.act_bits == 8
+
+
+class TestFakeQuantize:
+    def test_forward_matches_array_path(self):
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((4, 8)).astype(np.float32)
+        params = make_act_params(x)
+        from repro.quant import fake_quantize_array
+
+        out = fake_quantize(Tensor(x, requires_grad=True), params)
+        np.testing.assert_allclose(out.data, fake_quantize_array(x, params),
+                                   atol=1e-6)
+
+    def test_ste_gradient_passthrough_in_range(self):
+        x = Tensor(np.array([0.1, 0.5, -0.3], np.float32), requires_grad=True)
+        params = compute_qparams(-1.0, 1.0, QuantSpec(bits=8, symmetric=True))
+        fake_quantize(x, params).sum().backward()
+        np.testing.assert_allclose(x.grad, np.ones(3))
+
+    def test_ste_gradient_zero_out_of_range(self):
+        x = Tensor(np.array([5.0, -5.0, 0.0], np.float32), requires_grad=True)
+        params = compute_qparams(-1.0, 1.0, QuantSpec(bits=8, symmetric=True))
+        fake_quantize(x, params).sum().backward()
+        np.testing.assert_allclose(x.grad, [0.0, 0.0, 1.0])
+
+    def test_module_calibrate_then_freeze(self):
+        fq = FakeQuantize(MinMaxObserver(QuantSpec(bits=8, symmetric=False)))
+        x = Tensor(np.array([[0.0, 1.0, -1.0]], np.float32))
+        out = fq(x)
+        np.testing.assert_array_equal(out.data, x.data)  # calibrating: pass-through
+        fq.freeze()
+        out2 = fq(x)
+        assert fq.params is not None
+        assert np.abs(out2.data - x.data).max() <= float(fq.params.scale)
+
+    def test_freeze_required_after_calibration(self):
+        fq = FakeQuantize(MinMaxObserver(QuantSpec()))
+        fq.calibrating = False
+        with pytest.raises(RuntimeError):
+            fq(Tensor(np.zeros((1, 2), np.float32)))

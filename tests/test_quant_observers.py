@@ -1,0 +1,111 @@
+"""Calibration observers."""
+
+import numpy as np
+import pytest
+
+from repro.quant import (
+    MinMaxObserver,
+    MovingAverageObserver,
+    MSEObserver,
+    PercentileObserver,
+    QuantSpec,
+)
+from repro.quant.observers import make_observer
+from repro.quant.qparams import quantization_error
+
+
+SPEC = QuantSpec(bits=8, symmetric=False)
+
+
+class TestMinMax:
+    def test_tracks_extremes_across_batches(self):
+        obs = MinMaxObserver(SPEC)
+        obs.observe(np.array([0.0, 1.0]))
+        obs.observe(np.array([-3.0, 0.5]))
+        params = obs.compute()
+        assert params.scale == pytest.approx(4.0 / 255, rel=1e-3)
+
+    def test_per_channel(self):
+        spec = QuantSpec(bits=8, symmetric=True, per_channel=True, axis=0)
+        obs = MinMaxObserver(spec)
+        obs.observe(np.array([[1.0, -1.0], [10.0, -10.0]]))
+        params = obs.compute()
+        assert params.scale.shape == (2,)
+        assert params.scale[1] == pytest.approx(10 * params.scale[0])
+
+    def test_compute_before_observe(self):
+        with pytest.raises(RuntimeError):
+            MinMaxObserver(SPEC).compute()
+
+    def test_reset(self):
+        obs = MinMaxObserver(SPEC)
+        obs.observe(np.array([100.0]))
+        obs.reset()
+        obs.observe(np.array([1.0, -1.0]))
+        assert obs.compute().scale == pytest.approx(2.0 / 255, rel=1e-3)
+
+
+class TestMovingAverage:
+    def test_smooths_outlier_batch(self):
+        minmax = MinMaxObserver(SPEC)
+        ema = MovingAverageObserver(SPEC, momentum=0.9)
+        rng = np.random.default_rng(0)
+        for i in range(20):
+            batch = rng.standard_normal(100)
+            if i == 5:
+                batch = batch * 100  # outlier batch
+            minmax.observe(batch)
+            ema.observe(batch)
+        assert float(ema.compute().scale) < float(minmax.compute().scale)
+
+    def test_momentum_validation(self):
+        with pytest.raises(ValueError):
+            MovingAverageObserver(SPEC, momentum=1.0)
+
+
+class TestPercentile:
+    def test_clips_tails(self):
+        obs = PercentileObserver(SPEC, percentile=99.0)
+        rng = np.random.default_rng(0)
+        data = rng.standard_normal(10000)
+        data[0] = 1000.0  # extreme outlier
+        obs.observe(data)
+        assert float(obs.compute().scale) < 0.1  # outlier ignored
+
+    def test_rejects_per_channel(self):
+        spec = QuantSpec(bits=8, per_channel=True)
+        with pytest.raises(ValueError):
+            PercentileObserver(spec)
+
+    def test_percentile_validation(self):
+        with pytest.raises(ValueError):
+            PercentileObserver(SPEC, percentile=30.0)
+
+
+class TestMSE:
+    def test_beats_minmax_on_heavy_tails(self):
+        rng = np.random.default_rng(0)
+        data = rng.standard_t(df=2, size=20000).astype(np.float32)
+        minmax = MinMaxObserver(SPEC)
+        mse = MSEObserver(SPEC)
+        minmax.observe(data)
+        mse.observe(data)
+        assert (quantization_error(data, mse.compute())
+                <= quantization_error(data, minmax.compute()))
+
+    def test_rejects_per_channel(self):
+        with pytest.raises(ValueError):
+            MSEObserver(QuantSpec(bits=8, per_channel=True))
+
+
+class TestFactory:
+    @pytest.mark.parametrize("kind", ["minmax", "moving_average",
+                                      "percentile", "mse"])
+    def test_known_kinds(self, kind):
+        obs = make_observer(kind, SPEC)
+        obs.observe(np.array([1.0, -1.0]))
+        assert obs.compute().scale > 0
+
+    def test_unknown_kind(self):
+        with pytest.raises(KeyError):
+            make_observer("magic", SPEC)

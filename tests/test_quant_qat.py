@@ -1,0 +1,108 @@
+"""Quantization-aware training: wrapping, calibration, export, recovery."""
+
+import numpy as np
+import pytest
+
+from repro.data import attribute_head_spec, build_window_dataset
+from repro.data.datasets import num_classes
+from repro.distill import ModelTrainer, TrainingConfig, evaluate_model
+from repro.nn import Linear, VisionTransformer, ViTConfig
+from repro.quant import (
+    FakeQuantize,
+    MinMaxObserver,
+    QATConfig,
+    QATLinear,
+    QATVisionTransformer,
+    QuantSpec,
+    quantize_vit,
+    train_qat,
+)
+from repro.tensor import Tensor, no_grad
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return build_window_dataset(seed=51, num_category_objects=96,
+                                num_distractors=24, num_background=24)
+
+
+@pytest.fixture(scope="module")
+def trained(dataset):
+    model = VisionTransformer(
+        ViTConfig.student(num_classes(), attribute_head_spec()),
+        rng=np.random.default_rng(9))
+    ModelTrainer(model, TrainingConfig(epochs=8, batch_size=48,
+                                       learning_rate=2e-3, seed=0)).fit(dataset)
+    return model
+
+
+class TestQATLinear:
+    def test_forward_close_to_float(self):
+        rng = np.random.default_rng(0)
+        inner = Linear(16, 8, rng=rng)
+        fq = FakeQuantize(MinMaxObserver(QuantSpec(bits=8, symmetric=False)))
+        layer = QATLinear(inner, QuantSpec(bits=8, symmetric=True,
+                                           per_channel=True, axis=0), fq)
+        x = Tensor(rng.standard_normal((4, 16)).astype(np.float32))
+        # calibration pass (pass-through on activations)
+        out_cal = layer(x)
+        fq.freeze()
+        out_q = layer(x)
+        ref = x.data @ inner.weight.data.T + inner.bias.data
+        assert np.abs(out_cal.data - ref).max() < 0.05
+        assert np.abs(out_q.data - ref).max() < 0.1
+
+    def test_gradients_flow_to_inner(self):
+        rng = np.random.default_rng(1)
+        inner = Linear(8, 4, rng=rng)
+        fq = FakeQuantize(MinMaxObserver(QuantSpec(bits=8, symmetric=False)))
+        layer = QATLinear(inner, QuantSpec(bits=8, symmetric=True), fq)
+        x = Tensor(rng.standard_normal((2, 8)).astype(np.float32))
+        layer(x)  # calibrate
+        fq.freeze()
+        layer(x).sum().backward()
+        assert inner.weight.grad is not None
+        assert inner.bias.grad is not None
+
+
+class TestQATModel:
+    def test_wrap_and_restore(self, trained, dataset):
+        x = dataset.images[:4]
+        with no_grad():
+            before = trained(Tensor(x))["class_logits"].data.copy()
+        qat = QATVisionTransformer(trained)
+        qat.calibrate(dataset.images, batches=2)
+        exported = qat.export()
+        # export must restore plain Linear layers
+        assert isinstance(trained.patch_embed.proj, Linear)
+        with no_grad():
+            after = trained(Tensor(x))["class_logits"].data
+        np.testing.assert_allclose(before, after, atol=1e-5)
+        out = exported(x)
+        assert out["class_logits"].shape == before.shape
+
+    def test_export_before_calibrate_raises(self, trained):
+        qat = QATVisionTransformer(trained)
+        with pytest.raises(RuntimeError):
+            qat.export()
+        # leave the model restored for the other tests: calibrate + export
+        rng = np.random.default_rng(0)
+        qat.calibrate(rng.random((8, 3, 32, 32)).astype(np.float32), batches=1)
+        qat.export()
+        assert isinstance(trained.patch_embed.proj, Linear)
+
+    def test_qat_recovers_low_bit_accuracy(self, trained, dataset):
+        """At 3-bit weights, QAT fine-tuning should beat straight PTQ."""
+        val = build_window_dataset(seed=52, num_category_objects=96,
+                                   num_distractors=24, num_background=24)
+        spec = QuantSpec(bits=3, symmetric=True, per_channel=True, axis=0)
+        ptq = quantize_vit(trained, dataset.images[:96], weight_spec=spec)
+        ptq_acc = (ptq.classify(val.images) == val.class_labels).mean()
+
+        # fine-tune a copy so `trained` stays pristine for other tests
+        copy = VisionTransformer(trained.config, rng=np.random.default_rng(0))
+        copy.load_state_dict(trained.state_dict())
+        qat_model = train_qat(copy, dataset, weight_spec=spec,
+                              config=QATConfig(epochs=3, seed=0))
+        qat_acc = (qat_model.classify(val.images) == val.class_labels).mean()
+        assert qat_acc >= ptq_acc - 0.02  # typically strictly better

@@ -1,0 +1,155 @@
+"""Quantization parameter math + hypothesis round-trip error bounds."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.quant import (
+    QuantParams,
+    QuantSpec,
+    compute_qparams,
+    dequantize_array,
+    fake_quantize_array,
+    quantize_array,
+)
+from repro.quant.qparams import channel_minmax, quantization_error
+
+
+class TestQuantSpec:
+    def test_bit_validation(self):
+        with pytest.raises(ValueError):
+            QuantSpec(bits=1)
+        with pytest.raises(ValueError):
+            QuantSpec(bits=17)
+
+    def test_symmetric_range(self):
+        spec = QuantSpec(bits=8, symmetric=True)
+        assert spec.qmin == -127 and spec.qmax == 127
+
+    def test_asymmetric_range(self):
+        spec = QuantSpec(bits=8, symmetric=False)
+        assert spec.qmin == 0 and spec.qmax == 255
+
+    def test_storage_dtype(self):
+        assert QuantSpec(bits=8, symmetric=True).storage_dtype() == np.int8
+        assert QuantSpec(bits=8, symmetric=False).storage_dtype() == np.uint8
+        assert QuantSpec(bits=16, symmetric=True).storage_dtype() == np.int16
+
+    def test_low_bit_ranges(self):
+        spec = QuantSpec(bits=2, symmetric=True)
+        assert spec.qmin == -1 and spec.qmax == 1
+
+
+class TestComputeQparams:
+    def test_symmetric_zero_point_is_zero(self):
+        params = compute_qparams(-3.0, 5.0, QuantSpec(bits=8, symmetric=True))
+        assert params.zero_point == 0
+        assert params.scale == pytest.approx(5.0 / 127)
+
+    def test_asymmetric_covers_range(self):
+        spec = QuantSpec(bits=8, symmetric=False)
+        params = compute_qparams(-1.0, 3.0, spec)
+        # both extremes representable within one step
+        assert abs(float(dequantize_array(
+            quantize_array(np.array(-1.0), params), params)) - (-1.0)) <= float(params.scale)
+        assert abs(float(dequantize_array(
+            quantize_array(np.array(3.0), params), params)) - 3.0) <= float(params.scale)
+
+    def test_range_always_includes_zero(self):
+        """min/max both positive still yields a grid containing zero."""
+        spec = QuantSpec(bits=8, symmetric=False)
+        params = compute_qparams(2.0, 5.0, spec)
+        zero_hat = dequantize_array(quantize_array(np.zeros(1), params), params)
+        assert abs(float(zero_hat[0])) <= float(params.scale)
+
+    def test_degenerate_range(self):
+        params = compute_qparams(0.0, 0.0, QuantSpec(bits=8, symmetric=True))
+        assert params.scale > 0  # eps floor, no divide-by-zero
+
+    def test_per_channel_shapes(self):
+        spec = QuantSpec(bits=8, symmetric=True, per_channel=True, axis=0)
+        lo = np.array([-1.0, -2.0, -0.5])
+        hi = np.array([1.0, 2.0, 0.5])
+        params = compute_qparams(lo, hi, spec)
+        assert params.scale.shape == (3,)
+        assert params.scale[1] == pytest.approx(2 * params.scale[0])
+
+    def test_scale_positive_enforced(self):
+        with pytest.raises(ValueError):
+            QuantParams(QuantSpec(), np.array(0.0), np.array(0))
+
+
+class TestRoundTrip:
+    def test_int8_reconstruction_error(self):
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal(1000).astype(np.float32)
+        spec = QuantSpec(bits=8, symmetric=True)
+        params = compute_qparams(x.min(), x.max(), spec)
+        err = np.abs(x - fake_quantize_array(x, params))
+        assert err.max() <= float(params.scale) / 2 + 1e-7
+
+    def test_quantize_respects_bounds(self):
+        spec = QuantSpec(bits=4, symmetric=True)
+        params = compute_qparams(-1.0, 1.0, spec)
+        q = quantize_array(np.linspace(-10, 10, 100), params)
+        assert q.min() >= spec.qmin and q.max() <= spec.qmax
+
+    def test_idempotent(self):
+        rng = np.random.default_rng(1)
+        x = rng.standard_normal(100).astype(np.float32)
+        params = compute_qparams(x.min(), x.max(), QuantSpec(bits=8))
+        once = fake_quantize_array(x, params)
+        twice = fake_quantize_array(once, params)
+        np.testing.assert_allclose(once, twice, atol=1e-6)
+
+    def test_more_bits_less_error(self):
+        rng = np.random.default_rng(2)
+        x = rng.standard_normal(2000).astype(np.float32)
+        errors = []
+        for bits in (2, 4, 8, 12):
+            spec = QuantSpec(bits=bits, symmetric=True)
+            params = compute_qparams(x.min(), x.max(), spec)
+            errors.append(quantization_error(x, params))
+        assert errors == sorted(errors, reverse=True)
+
+    def test_per_channel_beats_per_tensor(self):
+        """Channels with very different ranges favor per-channel scales."""
+        rng = np.random.default_rng(3)
+        w = np.stack([rng.standard_normal(64) * s for s in (0.01, 1.0, 100.0)])
+        pt_spec = QuantSpec(bits=8, symmetric=True)
+        pc_spec = QuantSpec(bits=8, symmetric=True, per_channel=True, axis=0)
+        pt = compute_qparams(w.min(), w.max(), pt_spec)
+        lo, hi = channel_minmax(w, 0)
+        pc = compute_qparams(lo, hi, pc_spec)
+        assert quantization_error(w, pc) < quantization_error(w, pt)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    hnp.arrays(np.float32, st.integers(min_value=2, max_value=64),
+               elements=st.floats(min_value=-100, max_value=100, width=32,
+                                  allow_nan=False)),
+    st.integers(min_value=2, max_value=16),
+    st.booleans(),
+)
+def test_roundtrip_error_bounded_by_half_scale(x, bits, symmetric):
+    """|x − dq(q(x))| ≤ scale/2 for any in-range input (hypothesis)."""
+    spec = QuantSpec(bits=bits, symmetric=symmetric)
+    params = compute_qparams(float(x.min()), float(x.max()), spec)
+    err = np.abs(x - fake_quantize_array(x, params))
+    assert err.max() <= float(params.scale) / 2 + 1e-4
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    hnp.arrays(np.float32, 32,
+               elements=st.floats(min_value=-50, max_value=50, width=32,
+                                  allow_nan=False)),
+    st.integers(min_value=2, max_value=16),
+)
+def test_quantized_codes_within_spec_range(x, bits):
+    spec = QuantSpec(bits=bits, symmetric=False)
+    params = compute_qparams(float(x.min()), float(x.max()), spec)
+    q = quantize_array(x, params)
+    assert q.min() >= spec.qmin and q.max() <= spec.qmax

@@ -1,0 +1,102 @@
+"""Whole-model quantization: calibration sites, accuracy retention."""
+
+import numpy as np
+import pytest
+
+from repro.quant import QuantSpec, calibrate_observers, quantize_vit
+from repro.quant.vit import _float_proj, _site_linear, _vit_forward, gemm_sites
+from repro.tensor import Tensor, no_grad
+
+
+@pytest.fixture(scope="module")
+def calibration_images():
+    rng = np.random.default_rng(0)
+    return rng.random((32, 3, 32, 32)).astype(np.float32)
+
+
+class TestSites:
+    def test_site_enumeration(self, student_vit):
+        sites = gemm_sites(student_vit.config.depth, student_vit.attribute_names)
+        assert "patch_proj" in sites and "head" in sites
+        assert f"block{student_vit.config.depth - 1}.fc2" in sites
+        assert len(sites) == 1 + 4 * student_vit.config.depth + 1 + len(
+            student_vit.attribute_names)
+
+    def test_site_resolution(self, student_vit):
+        for site in gemm_sites(student_vit.config.depth,
+                               student_vit.attribute_names):
+            layer = _site_linear(student_vit, site)
+            assert hasattr(layer, "weight")
+
+    def test_unknown_site(self, student_vit):
+        with pytest.raises(KeyError):
+            _site_linear(student_vit, "block0.mystery")
+
+
+class TestFloatPathConsistency:
+    def test_mirrored_forward_matches_module(self, student_vit, calibration_images):
+        """The shared numpy forward must match the autograd module (up to
+        the tanh-GELU approximation)."""
+        sites = gemm_sites(student_vit.config.depth, student_vit.attribute_names)
+        projections = {s: _float_proj(_site_linear(student_vit, s)) for s in sites}
+        mirrored = _vit_forward(student_vit, calibration_images[:4], projections)
+        with no_grad():
+            reference = student_vit(Tensor(calibration_images[:4]))
+        np.testing.assert_allclose(
+            mirrored["class_logits"], reference["class_logits"].data, atol=5e-3
+        )
+        for family in student_vit.attribute_names:
+            np.testing.assert_allclose(
+                mirrored["attributes"][family],
+                reference["attributes"][family].data, atol=5e-3,
+            )
+
+
+class TestCalibration:
+    def test_every_site_calibrated(self, student_vit, calibration_images):
+        params = calibrate_observers(student_vit, calibration_images)
+        sites = gemm_sites(student_vit.config.depth, student_vit.attribute_names)
+        assert set(params) == set(sites)
+        for p in params.values():
+            assert float(np.asarray(p.scale).min()) > 0
+
+
+class TestQuantizedModel:
+    def test_outputs_close_to_float(self, student_vit, calibration_images):
+        q = quantize_vit(student_vit, calibration_images)
+        out_q = q(calibration_images[:8])
+        with no_grad():
+            out_f = student_vit(Tensor(calibration_images[:8]))
+        ref = out_f["class_logits"].data
+        err = np.abs(out_q["class_logits"] - ref).max()
+        assert err < 0.15 * max(np.abs(ref).max(), 1.0)
+
+    def test_prediction_agreement(self, student_vit, calibration_images):
+        q = quantize_vit(student_vit, calibration_images)
+        agreement = (q.classify(calibration_images)
+                     == np.array([student_vit.classify(Tensor(calibration_images))]).ravel())
+        assert agreement.mean() >= 0.9
+
+    def test_size_shrinks_with_bits(self, student_vit, calibration_images):
+        sizes = {}
+        for bits in (4, 8, 16):
+            q = quantize_vit(
+                student_vit, calibration_images,
+                weight_spec=QuantSpec(bits=bits, symmetric=True,
+                                      per_channel=True, axis=0),
+            )
+            sizes[bits] = q.model_size_bytes()
+        assert sizes[4] < sizes[8] < sizes[16]
+
+    def test_weight_bits_reported(self, student_vit, calibration_images):
+        q = quantize_vit(
+            student_vit, calibration_images,
+            weight_spec=QuantSpec(bits=4, symmetric=True, per_channel=True),
+        )
+        assert q.weight_bits() == 4
+
+    def test_forward_shapes(self, student_vit, calibration_images):
+        q = quantize_vit(student_vit, calibration_images)
+        out = q(calibration_images[:3])
+        assert out["class_logits"].shape == (3, student_vit.config.num_classes)
+        assert out["cls_embedding"].shape == (3, student_vit.config.dim)

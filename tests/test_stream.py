@@ -1,0 +1,134 @@
+"""Streaming subsystem: sequences, tracker hysteresis, metrics."""
+
+import numpy as np
+import pytest
+
+from repro.data import SceneConfig, get_task
+from repro.stream import (
+    SceneSequence,
+    SequenceConfig,
+    StreamingDetector,
+    TrackerConfig,
+    evaluate_stream,
+)
+from repro.stream.tracker import Track
+
+
+class TestSequence:
+    def test_deterministic(self):
+        a = SceneSequence(seed=3)
+        b = SceneSequence(seed=3)
+        fa, fb = a.step(), b.step()
+        np.testing.assert_array_equal(fa.scene.image, fb.scene.image)
+        assert fa.object_ids == fb.object_ids
+
+    def test_frame_indices_increase(self):
+        seq = SceneSequence(seed=0)
+        indices = [state.index for state in seq.frames(5)]
+        assert indices == [0, 1, 2, 3, 4]
+
+    def test_object_ids_align_with_objects(self):
+        seq = SceneSequence(seed=1)
+        state = seq.step()
+        assert len(state.object_ids) == len(state.scene.objects)
+        assert len(set(state.object_ids)) == len(state.object_ids)
+
+    def test_persistence_across_frames(self):
+        """With zero birth/death, the population is frozen."""
+        config = SequenceConfig(birth_rate=0.0, death_rate=0.0)
+        seq = SceneSequence(config, seed=2)
+        first = seq.step()
+        later = seq.step()
+        assert set(first.object_ids) == set(later.object_ids)
+        assert later.births == [] and later.deaths == []
+
+    def test_high_death_rate_clears_scene(self):
+        config = SequenceConfig(birth_rate=0.0, death_rate=1.0)
+        seq = SceneSequence(config, seed=4)
+        state = seq.step()
+        assert state.scene.objects == []
+
+    def test_births_fill_free_cells(self):
+        config = SequenceConfig(birth_rate=1.0, death_rate=0.0)
+        seq = SceneSequence(config, seed=5)
+        state = seq.step()
+        assert len(state.scene.objects) == config.scene.grid ** 2
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            SequenceConfig(birth_rate=1.5)
+
+
+class TestTrackerConfig:
+    def test_threshold_ordering(self):
+        with pytest.raises(ValueError):
+            TrackerConfig(on_threshold=0.3, off_threshold=0.5)
+
+    def test_smoothing_range(self):
+        with pytest.raises(ValueError):
+            TrackerConfig(smoothing=1.0)
+
+
+class TestStreamingDetector:
+    @pytest.fixture()
+    def detector(self, student_vit):
+        return StreamingDetector(student_vit, matcher=None,
+                                 config=TrackerConfig(on_threshold=0.2,
+                                                      off_threshold=0.1))
+
+    def test_update_returns_tracks(self, detector):
+        seq = SceneSequence(seed=6)
+        tracks = detector.update(seq.step().scene)
+        assert all(isinstance(t, Track) for t in tracks)
+        for t in tracks:
+            assert 0.0 <= t.score <= 1.0
+
+    def test_track_ids_stable_on_static_scene(self, detector):
+        config = SequenceConfig(birth_rate=0.0, death_rate=0.0)
+        seq = SceneSequence(config, seed=7)
+        first = {t.cell: t.track_id for t in detector.update(seq.step().scene)}
+        second = {t.cell: t.track_id for t in detector.update(seq.step().scene)}
+        for cell, track_id in second.items():
+            if cell in first:
+                assert first[cell] == track_id
+
+    def test_reset(self, detector):
+        seq = SceneSequence(seed=8)
+        detector.update(seq.step().scene)
+        detector.reset()
+        assert detector.active_tracks() == []
+        assert detector.all_tracks == []
+
+    def test_hysteresis_keeps_track_through_dip(self, student_vit):
+        """A smoothed score dipping between off and on thresholds must
+        not drop the track."""
+        detector = StreamingDetector(student_vit, matcher=None,
+                                     config=TrackerConfig(
+                                         smoothing=0.0, on_threshold=0.2,
+                                         off_threshold=0.05,
+                                         max_missed_frames=2))
+        # drive with synthetic scores by monkeypatching the scorer
+        cells = [(0, 0)]
+        scores = iter([0.5, 0.1, 0.1, 0.5])
+        detector._cell_scores = lambda scene: {cells[0]: next(scores)}
+        seq = SceneSequence(seed=9)
+        scene = seq.step().scene
+        for _ in range(4):
+            tracks = detector.update(scene)
+        assert len(tracks) == 1 and tracks[0].active
+
+
+class TestEvaluateStream:
+    def test_metrics_contract(self, student_vit):
+        task = get_task("roadside_hazards")
+        detector = StreamingDetector(student_vit, matcher=None)
+        seq = SceneSequence(seed=10)
+        metrics = evaluate_stream(detector, seq, task, num_frames=5)
+        assert 0.0 <= metrics.frame_accuracy <= 1.0
+        assert 0.0 <= metrics.flicker_rate <= 1.0
+        assert 0.0 <= metrics.detected_fraction <= 1.0
+        assert metrics.frames == 5
+        assert set(metrics.as_dict()) == {
+            "frame_accuracy", "mean_detection_latency", "detected_fraction",
+            "flicker_rate", "frames",
+        }

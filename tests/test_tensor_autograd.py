@@ -1,0 +1,281 @@
+"""Finite-difference verification of every differentiable tensor op."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import (
+    Tensor,
+    cat,
+    check_gradient,
+    clip,
+    erf,
+    exp,
+    gelu,
+    log,
+    log_softmax,
+    maximum,
+    minimum,
+    randn,
+    relu,
+    sigmoid,
+    softmax,
+    sqrt,
+    stack,
+    tanh,
+    where,
+)
+from repro.tensor.ops import embedding
+
+RNG = np.random.default_rng(42)
+
+
+def _t(*shape, positive=False, scale=1.0):
+    data = RNG.standard_normal(shape) * scale
+    if positive:
+        data = np.abs(data) + 0.5
+    return Tensor(data.astype(np.float32), requires_grad=True)
+
+
+def assert_grad(fn, inputs, wrt=0, **kwargs):
+    ok, err = check_gradient(fn, inputs, wrt=wrt, **kwargs)
+    assert ok, f"gradient mismatch, max abs err {err}"
+
+
+class TestArithmetic:
+    def test_add(self):
+        assert_grad(lambda a, b: a + b, [_t(3, 4), _t(3, 4)])
+
+    def test_add_broadcast_rows(self):
+        assert_grad(lambda a, b: a + b, [_t(3, 4), _t(4)], wrt=1)
+
+    def test_add_broadcast_scalar_tensor(self):
+        assert_grad(lambda a, b: a + b, [_t(3, 4), _t(1, 1)], wrt=1)
+
+    def test_radd_scalar(self):
+        assert_grad(lambda a: 2.5 + a, [_t(3, 4)])
+
+    def test_sub(self):
+        assert_grad(lambda a, b: a - b, [_t(2, 3), _t(2, 3)], wrt=1)
+
+    def test_rsub(self):
+        assert_grad(lambda a: 1.0 - a, [_t(2, 3)])
+
+    def test_neg(self):
+        assert_grad(lambda a: -a, [_t(5)])
+
+    def test_mul(self):
+        assert_grad(lambda a, b: a * b, [_t(3, 4), _t(3, 4)], wrt=0)
+
+    def test_mul_broadcast(self):
+        assert_grad(lambda a, b: a * b, [_t(2, 3, 4), _t(4)], wrt=1)
+
+    def test_div(self):
+        assert_grad(lambda a, b: a / b, [_t(3, 3), _t(3, 3, positive=True)], wrt=0)
+
+    def test_div_wrt_denominator(self):
+        assert_grad(lambda a, b: a / b, [_t(3, 3), _t(3, 3, positive=True)], wrt=1)
+
+    def test_pow(self):
+        assert_grad(lambda a: a ** 3, [_t(3, 4)])
+
+    def test_pow_fractional(self):
+        assert_grad(lambda a: a ** 0.5, [_t(3, 4, positive=True)])
+
+    def test_abs(self):
+        # keep values away from the kink at 0
+        t = Tensor(np.array([[1.0, -2.0], [3.0, -0.7]], np.float32), requires_grad=True)
+        assert_grad(lambda a: a.abs(), [t])
+
+
+class TestMatmul:
+    def test_2d(self):
+        assert_grad(lambda a, b: a @ b, [_t(3, 4), _t(4, 5)], wrt=0)
+        assert_grad(lambda a, b: a @ b, [_t(3, 4), _t(4, 5)], wrt=1)
+
+    def test_batched_left(self):
+        assert_grad(lambda a, b: a @ b, [_t(2, 3, 4), _t(4, 5)], wrt=0)
+
+    def test_batched_right_broadcast(self):
+        assert_grad(lambda a, b: a @ b, [_t(2, 3, 4), _t(4, 5)], wrt=1)
+
+    def test_batched_both(self):
+        assert_grad(lambda a, b: a @ b, [_t(2, 3, 4), _t(2, 4, 5)], wrt=1)
+
+    def test_vector_vector(self):
+        assert_grad(lambda a, b: a @ b, [_t(4), _t(4)], wrt=0)
+
+    def test_matrix_vector(self):
+        assert_grad(lambda a, b: a @ b, [_t(3, 4), _t(4)], wrt=0)
+        assert_grad(lambda a, b: a @ b, [_t(3, 4), _t(4)], wrt=1)
+
+
+class TestElementwise:
+    def test_exp(self):
+        assert_grad(exp, [_t(3, 4, scale=0.5)])
+
+    def test_log(self):
+        assert_grad(log, [_t(3, 4, positive=True)])
+
+    def test_sqrt(self):
+        assert_grad(sqrt, [_t(3, 4, positive=True)])
+
+    def test_tanh(self):
+        assert_grad(tanh, [_t(3, 4)])
+
+    def test_sigmoid(self):
+        assert_grad(sigmoid, [_t(3, 4)])
+
+    def test_relu(self):
+        t = Tensor((RNG.standard_normal((4, 4)) + 0.01).astype(np.float32),
+                   requires_grad=True)
+        assert_grad(relu, [t])
+
+    def test_erf(self):
+        assert_grad(erf, [_t(3, 4)])
+
+    def test_gelu_exact(self):
+        assert_grad(lambda x: gelu(x), [_t(3, 4)])
+
+    def test_gelu_tanh(self):
+        assert_grad(lambda x: gelu(x, approximate=True), [_t(3, 4)])
+
+    def test_clip(self):
+        assert_grad(lambda x: clip(x, -0.5, 0.5), [_t(4, 4)])
+
+    def test_where(self):
+        cond = RNG.random((3, 4)) > 0.5
+        assert_grad(lambda a, b: where(cond, a, b), [_t(3, 4), _t(3, 4)], wrt=0)
+        assert_grad(lambda a, b: where(cond, a, b), [_t(3, 4), _t(3, 4)], wrt=1)
+
+    def test_maximum(self):
+        a, b = _t(3, 4), _t(3, 4)
+        assert_grad(lambda x, y: maximum(x, y), [a, b], wrt=0)
+
+    def test_minimum(self):
+        a, b = _t(3, 4), _t(3, 4)
+        assert_grad(lambda x, y: minimum(x, y), [a, b], wrt=1)
+
+
+class TestReductionsAndShape:
+    def test_sum_all(self):
+        assert_grad(lambda a: a.sum(), [_t(3, 4)])
+
+    def test_sum_axis_keepdims(self):
+        assert_grad(lambda a: a.sum(axis=1, keepdims=True), [_t(3, 4)])
+
+    def test_sum_axis_tuple(self):
+        assert_grad(lambda a: a.sum(axis=(0, 2)), [_t(2, 3, 4)])
+
+    def test_mean(self):
+        assert_grad(lambda a: a.mean(axis=0), [_t(3, 4)])
+
+    def test_var(self):
+        assert_grad(lambda a: a.var(axis=1), [_t(3, 4)])
+
+    def test_max(self):
+        data = RNG.permutation(12).reshape(3, 4).astype(np.float32)
+        t = Tensor(data, requires_grad=True)
+        assert_grad(lambda a: a.max(axis=1), [t])
+
+    def test_min(self):
+        data = RNG.permutation(12).reshape(3, 4).astype(np.float32)
+        t = Tensor(data, requires_grad=True)
+        assert_grad(lambda a: a.min(axis=0), [t])
+
+    def test_reshape(self):
+        assert_grad(lambda a: a.reshape(2, 6), [_t(3, 4)])
+
+    def test_flatten(self):
+        assert_grad(lambda a: a.flatten(start_dim=1), [_t(2, 3, 4)])
+
+    def test_transpose(self):
+        assert_grad(lambda a: a.T, [_t(3, 4)])
+
+    def test_permute(self):
+        assert_grad(lambda a: a.permute(2, 0, 1), [_t(2, 3, 4)])
+
+    def test_getitem_slice(self):
+        assert_grad(lambda a: a[1:, ::2], [_t(3, 4)])
+
+    def test_getitem_int(self):
+        assert_grad(lambda a: a[1], [_t(3, 4)])
+
+    def test_getitem_advanced(self):
+        idx = np.array([0, 2, 2])
+        assert_grad(lambda a: a[idx], [_t(3, 4)])
+
+    def test_pad2d(self):
+        assert_grad(lambda a: a.pad2d((1, 2, 0, 1)), [_t(2, 3, 4)])
+
+    def test_cat(self):
+        assert_grad(lambda a, b: cat([a, b], axis=1), [_t(3, 2), _t(3, 5)], wrt=1)
+
+    def test_stack(self):
+        assert_grad(lambda a, b: stack([a, b], axis=0), [_t(3, 4), _t(3, 4)], wrt=0)
+
+    def test_embedding(self):
+        table = _t(6, 4)
+        idx = np.array([0, 5, 2, 2])
+        assert_grad(lambda t: embedding(t, idx), [table])
+
+
+class TestNormalizers:
+    def test_softmax(self):
+        assert_grad(lambda a: softmax(a, axis=-1), [_t(4, 5)])
+
+    def test_softmax_axis0(self):
+        assert_grad(lambda a: softmax(a, axis=0), [_t(4, 5)])
+
+    def test_log_softmax(self):
+        # slightly looser tolerance: the log of a float32 softmax loses a
+        # couple of bits relative to the other ops
+        assert_grad(lambda a: log_softmax(a), [_t(4, 5)], atol=3e-2)
+
+
+class TestGraphMechanics:
+    def test_reused_tensor_accumulates(self):
+        a = _t(3, 3)
+        out = a * a + a
+        out.backward(np.ones((3, 3), np.float32))
+        expected = 2 * a.data + 1
+        np.testing.assert_allclose(a.grad, expected, rtol=1e-5)
+
+    def test_diamond_graph(self):
+        a = _t(2, 2)
+        b = a * 2.0
+        c = a * 3.0
+        out = (b + c).sum()
+        out.backward()
+        np.testing.assert_allclose(a.grad, np.full((2, 2), 5.0), rtol=1e-6)
+
+    def test_grad_accumulates_across_backward_calls(self):
+        a = _t(2, 2)
+        (a * 1.0).sum().backward()
+        first = a.grad.copy()
+        (a * 1.0).sum().backward()
+        np.testing.assert_allclose(a.grad, 2 * first)
+
+    def test_backward_requires_grad(self):
+        t = Tensor(np.ones(3))
+        with pytest.raises(RuntimeError):
+            t.backward()
+
+    def test_backward_shape_check(self):
+        a = _t(2, 3)
+        out = a * 2.0
+        with pytest.raises(ValueError):
+            out.backward(np.ones((3, 2), np.float32))
+
+    def test_detach_cuts_graph(self):
+        a = _t(2, 2)
+        out = (a.detach() * 3.0).sum()
+        assert not out.requires_grad
+
+    def test_long_chain(self):
+        a = _t(2, 2, scale=0.1)
+        x = a
+        for _ in range(30):
+            x = x + a * 0.01
+        x.sum().backward()
+        assert a.grad is not None
+        np.testing.assert_allclose(a.grad, np.full((2, 2), 1.3), rtol=1e-4)

@@ -1,0 +1,165 @@
+"""Forward semantics of the tensor engine: shapes, values, grad modes."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import (
+    Tensor,
+    arange,
+    cat,
+    dropout_mask,
+    full,
+    is_grad_enabled,
+    no_grad,
+    one_hot,
+    ones,
+    rand,
+    randn,
+    softmax,
+    log_softmax,
+    stack,
+    tensor,
+    zeros,
+)
+
+
+class TestConstructors:
+    def test_zeros_ones_full(self):
+        assert zeros(2, 3).shape == (2, 3)
+        assert ones((4,)).data.sum() == 4.0
+        assert np.all(full((2, 2), 7.5).data == 7.5)
+
+    def test_arange(self):
+        np.testing.assert_array_equal(arange(5).data, np.arange(5, dtype=np.float32))
+
+    def test_randn_reproducible(self):
+        a = randn(3, 3, rng=np.random.default_rng(5))
+        b = randn(3, 3, rng=np.random.default_rng(5))
+        np.testing.assert_array_equal(a.data, b.data)
+
+    def test_rand_range(self):
+        r = rand(100, rng=np.random.default_rng(0))
+        assert (r.data >= 0).all() and (r.data < 1).all()
+
+    def test_tensor_dtype_default(self):
+        assert tensor([1, 2, 3]).dtype == np.float32
+
+    def test_tensor_from_tensor(self):
+        a = tensor([1.0, 2.0])
+        b = Tensor(a)
+        np.testing.assert_array_equal(a.data, b.data)
+
+    def test_one_hot(self):
+        oh = one_hot(np.array([0, 2, 1]), 3)
+        np.testing.assert_array_equal(
+            oh.data, np.array([[1, 0, 0], [0, 0, 1], [0, 1, 0]], np.float32)
+        )
+
+    def test_dropout_mask_expectation(self):
+        mask = dropout_mask((10000,), keep_prob=0.8,
+                            rng=np.random.default_rng(0))
+        # inverted dropout: E[mask] = 1
+        assert abs(mask.data.mean() - 1.0) < 0.05
+        assert set(np.unique(mask.data)).issubset({0.0, np.float32(1 / 0.8)})
+
+
+class TestGradModes:
+    def test_no_grad_context(self):
+        a = tensor([1.0], requires_grad=True)
+        assert is_grad_enabled()
+        with no_grad():
+            assert not is_grad_enabled()
+            out = a * 2.0
+            assert not out.requires_grad
+        assert is_grad_enabled()
+
+    def test_no_grad_nested(self):
+        with no_grad():
+            with no_grad():
+                pass
+            assert not is_grad_enabled()
+
+    def test_requires_grad_respects_mode(self):
+        with no_grad():
+            t = Tensor([1.0], requires_grad=True)
+        assert not t.requires_grad
+
+    def test_from_op_detaches_without_grad_parents(self):
+        a = tensor([1.0])  # no grad
+        out = a * 3.0
+        assert not out.requires_grad
+        assert out._backward is None
+
+
+class TestForwardValues:
+    def test_softmax_rows_sum_to_one(self):
+        x = randn(5, 7, rng=np.random.default_rng(1))
+        s = softmax(x).data
+        np.testing.assert_allclose(s.sum(axis=-1), np.ones(5), rtol=1e-5)
+        assert (s >= 0).all()
+
+    def test_softmax_shift_invariance(self):
+        x = randn(3, 4, rng=np.random.default_rng(2))
+        a = softmax(x).data
+        b = softmax(x + 100.0).data
+        np.testing.assert_allclose(a, b, atol=1e-6)
+
+    def test_log_softmax_consistency(self):
+        x = randn(3, 4, rng=np.random.default_rng(3))
+        np.testing.assert_allclose(
+            np.exp(log_softmax(x).data), softmax(x).data, atol=1e-6
+        )
+
+    def test_softmax_extreme_values_stable(self):
+        x = tensor([[1000.0, -1000.0]])
+        s = softmax(x).data
+        assert np.isfinite(s).all()
+        np.testing.assert_allclose(s, [[1.0, 0.0]], atol=1e-6)
+
+    def test_matmul_matches_numpy(self):
+        a = randn(4, 5, rng=np.random.default_rng(4))
+        b = randn(5, 6, rng=np.random.default_rng(5))
+        np.testing.assert_allclose((a @ b).data, a.data @ b.data, rtol=1e-5)
+
+    def test_cat_values(self):
+        a, b = ones(2, 2), zeros(2, 3)
+        out = cat([a, b], axis=1)
+        assert out.shape == (2, 5)
+        np.testing.assert_array_equal(out.data[:, :2], 1.0)
+
+    def test_stack_shape(self):
+        out = stack([ones(2, 2), zeros(2, 2)], axis=0)
+        assert out.shape == (2, 2, 2)
+
+    def test_comparison_returns_ndarray(self):
+        a = tensor([1.0, 2.0, 3.0])
+        result = a > 1.5
+        assert isinstance(result, np.ndarray)
+        np.testing.assert_array_equal(result, [False, True, True])
+
+    def test_transpose_default_last_two(self):
+        x = randn(2, 3, 4, rng=np.random.default_rng(6))
+        assert x.transpose().shape == (2, 4, 3)
+
+    def test_item_scalar(self):
+        assert tensor([[3.5]]).item() == pytest.approx(3.5)
+
+    def test_argmax(self):
+        x = tensor([[1.0, 5.0, 2.0]])
+        assert x.argmax(axis=-1)[0] == 1
+
+    def test_repr_mentions_shape(self):
+        assert "shape=(2, 3)" in repr(zeros(2, 3))
+
+    def test_len(self):
+        assert len(zeros(4, 2)) == 4
+
+
+class TestErrors:
+    def test_pow_tensor_exponent_rejected(self):
+        with pytest.raises(TypeError):
+            tensor([1.0]) ** tensor([2.0])
+
+    def test_matmul_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            _ = randn(2, 3) @ randn(4, 5)

@@ -1,0 +1,103 @@
+"""Property-based tests (hypothesis) for the autograd engine."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.tensor import Tensor, softmax, check_gradient
+from repro.tensor.tensor import _unbroadcast
+
+FLOATS = st.floats(min_value=-10.0, max_value=10.0, allow_nan=False,
+                   allow_infinity=False, width=32)
+
+
+def small_arrays(max_side=4, min_dims=1, max_dims=3):
+    return hnp.arrays(
+        dtype=np.float32,
+        shape=hnp.array_shapes(min_dims=min_dims, max_dims=max_dims,
+                               min_side=1, max_side=max_side),
+        elements=FLOATS,
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays())
+def test_unbroadcast_roundtrip(x):
+    """Broadcasting then unbroadcasting a gradient preserves totals."""
+    target_shape = x.shape
+    broadcast_shape = (2,) + target_shape
+    grad = np.broadcast_to(x, broadcast_shape).copy()
+    reduced = _unbroadcast(grad, target_shape)
+    assert reduced.shape == target_shape
+    np.testing.assert_allclose(reduced, 2 * x, rtol=1e-5)
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays(max_dims=2))
+def test_softmax_is_distribution(x):
+    s = softmax(Tensor(x), axis=-1).data
+    np.testing.assert_allclose(s.sum(axis=-1), np.ones(s.shape[:-1]),
+                               rtol=1e-4, atol=1e-5)
+    assert (s >= 0).all()
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    hnp.array_shapes(min_dims=1, max_dims=3, min_side=1, max_side=4).flatmap(
+        lambda shape: st.tuples(
+            hnp.arrays(np.float32, shape, elements=FLOATS),
+            hnp.arrays(np.float32, shape, elements=FLOATS),
+        )
+    )
+)
+def test_add_commutes(pair):
+    a, b = pair
+    left = (Tensor(a) + Tensor(b)).data
+    right = (Tensor(b) + Tensor(a)).data
+    np.testing.assert_array_equal(left, right)
+    assert left.shape == a.shape
+
+
+@settings(max_examples=30, deadline=None)
+@given(small_arrays(min_dims=2, max_dims=2))
+def test_transpose_involution(x):
+    t = Tensor(x)
+    np.testing.assert_array_equal(t.T.T.data, x)
+
+
+@settings(max_examples=30, deadline=None)
+@given(small_arrays())
+def test_sum_backward_is_ones(x):
+    t = Tensor(x, requires_grad=True)
+    t.sum().backward()
+    np.testing.assert_array_equal(t.grad, np.ones_like(x))
+
+
+@settings(max_examples=30, deadline=None)
+@given(small_arrays(), st.floats(min_value=-3, max_value=3, allow_nan=False,
+                                 width=32))
+def test_scalar_mul_backward(x, c):
+    t = Tensor(x, requires_grad=True)
+    (t * float(c)).sum().backward()
+    np.testing.assert_allclose(t.grad, np.full_like(x, np.float32(c)), rtol=1e-5)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    hnp.arrays(np.float32, (3, 4), elements=FLOATS),
+    hnp.arrays(np.float32, (4, 2), elements=FLOATS),
+)
+def test_matmul_linearity_in_grad(a, b):
+    """d(sum(A@B))/dA equals the row-broadcast of B's column sums."""
+    ta = Tensor(a, requires_grad=True)
+    (ta @ Tensor(b)).sum().backward()
+    expected = np.tile(b.sum(axis=1), (3, 1))
+    np.testing.assert_allclose(ta.grad, expected, rtol=1e-4, atol=1e-4)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=1, max_value=4), st.integers(min_value=1, max_value=4))
+def test_reshape_preserves_data(rows, cols):
+    x = np.arange(rows * cols, dtype=np.float32)
+    t = Tensor(x)
+    np.testing.assert_array_equal(t.reshape(rows, cols).data.ravel(), x)

@@ -1,0 +1,129 @@
+"""Vision-language baseline: tokenizer, towers, contrastive training."""
+
+import numpy as np
+import pytest
+
+from repro.data import TASK_LIBRARY, get_task
+from repro.tensor import Tensor
+from repro.vlm import (
+    Tokenizer,
+    TwoTowerVLM,
+    VLMConfig,
+    VLMTrainer,
+    VLMTrainingConfig,
+    build_vlm_pairs,
+)
+
+
+@pytest.fixture(scope="module")
+def tokenizer():
+    return Tokenizer()
+
+
+@pytest.fixture(scope="module")
+def vlm(tokenizer):
+    model = TwoTowerVLM(tokenizer, rng=np.random.default_rng(0))
+    model.eval()
+    return model
+
+
+class TestTokenizer:
+    def test_special_tokens(self, tokenizer):
+        assert tokenizer.pad_id == 0
+        assert tokenizer.vocab_size > 50
+
+    def test_encode_shape_and_padding(self, tokenizer):
+        ids = tokenizer.encode("find red markers")
+        assert ids.shape == (tokenizer.max_length,)
+        assert (ids[3:] == tokenizer.pad_id).all()
+
+    def test_known_words_not_unk(self, tokenizer):
+        ids = tokenizer.encode("red square")
+        unk = tokenizer.vocab["<unk>"]
+        assert unk not in ids[:2]
+
+    def test_unknown_word_maps_to_unk(self, tokenizer):
+        ids = tokenizer.encode("xylophone")
+        assert ids[0] == tokenizer.vocab["<unk>"]
+
+    def test_truncation(self, tokenizer):
+        long_text = "red " * 100
+        assert tokenizer.encode(long_text).shape == (tokenizer.max_length,)
+
+    def test_batch(self, tokenizer):
+        batch = tokenizer.encode_batch(["red", "blue square"])
+        assert batch.shape == (2, tokenizer.max_length)
+
+
+class TestTwoTower:
+    def test_embeddings_normalized(self, vlm, tokenizer):
+        rng = np.random.default_rng(1)
+        images = Tensor(rng.random((3, 3, 32, 32)).astype(np.float32))
+        img_emb = vlm.encode_images(images)
+        np.testing.assert_allclose(
+            (img_emb.data ** 2).sum(axis=-1), 1.0, rtol=1e-4)
+        txt_emb = vlm.encode_texts(tokenizer.encode_batch(["red marker"]))
+        np.testing.assert_allclose(
+            (txt_emb.data ** 2).sum(axis=-1), 1.0, rtol=1e-4)
+
+    def test_similarity_logits_shape(self, vlm, tokenizer):
+        rng = np.random.default_rng(2)
+        images = Tensor(rng.random((4, 3, 32, 32)).astype(np.float32))
+        token_ids = tokenizer.encode_batch(["a", "b", "c"])
+        logits = vlm.similarity_logits(images, token_ids)
+        assert logits.shape == (4, 3)
+
+    def test_score_windows(self, vlm):
+        rng = np.random.default_rng(3)
+        windows = rng.random((5, 3, 32, 32)).astype(np.float32)
+        scores = vlm.score_windows(windows, "find red markers")
+        assert scores.shape == (5,)
+        assert (np.abs(scores) <= 1.0 + 1e-5).all()
+
+    def test_padding_invariance(self, vlm, tokenizer):
+        """Mean pooling must ignore pad positions: same text, different
+        amounts of padding, same embedding."""
+        short = tokenizer.encode_batch(["red square"])
+        long_tok = Tokenizer(max_length=tokenizer.max_length)
+        same = long_tok.encode_batch(["red square"])
+        a = vlm.encode_texts(short).data
+        b = vlm.encode_texts(same).data
+        np.testing.assert_allclose(a, b, atol=1e-5)
+
+    def test_flops_accounting(self, vlm):
+        assert vlm.flops_per_query() > vlm.image_encoder.backbone.flops_per_image()
+
+
+class TestTraining:
+    def test_pairs_are_positive(self):
+        tasks = [get_task(n) for n in list(TASK_LIBRARY)[:3]]
+        pools = build_vlm_pairs(tasks, seed=0, positives_per_task=20)
+        assert set(pools) == {t.name for t in tasks}
+        for images in pools.values():
+            assert images.shape[0] == 20
+
+    def test_loss_decreases(self, tokenizer):
+        model = TwoTowerVLM(tokenizer, rng=np.random.default_rng(4))
+        tasks = [get_task(n) for n in list(TASK_LIBRARY)[:4]]
+        trainer = VLMTrainer(model, tasks, VLMTrainingConfig(steps=40, seed=0))
+        history = trainer.train()
+        assert np.mean(history[-10:]) < np.mean(history[:10])
+
+    def test_training_aligns_pairs(self, tokenizer):
+        """After brief training, a mission's positives score higher
+        against their own text than against another mission's."""
+        model = TwoTowerVLM(tokenizer, rng=np.random.default_rng(5))
+        tasks = [get_task("stop_control"), get_task("cargo_audit")]
+        trainer = VLMTrainer(model, tasks, VLMTrainingConfig(steps=80, seed=0))
+        trainer.train()
+        pools = trainer._pools
+        own = model.score_windows(pools["stop_control"][:20],
+                                  tasks[0].mission_text).mean()
+        cross = model.score_windows(pools["stop_control"][:20],
+                                    tasks[1].mission_text).mean()
+        assert own > cross
+
+    def test_needs_two_tasks(self, tokenizer):
+        model = TwoTowerVLM(tokenizer, rng=np.random.default_rng(6))
+        with pytest.raises(ValueError):
+            VLMTrainer(model, [get_task("stop_control")])
