@@ -1,0 +1,137 @@
+"""E10 — End-to-end detection pipeline latency, per stage.
+
+The paper's serving story ("real-time task-oriented detection at the
+edge") depends on the *whole* pipeline — window extraction, model
+forward, knowledge-graph matching, NMS — not just the accelerator GEMMs
+that E3 times.  This benchmark runs :meth:`TaskDetector.detect` on a
+large (default 25×25-cell) scene twice: once through the seed
+reference implementation (per-cell crop loop + O(N²) Python NMS,
+``vectorized=False``) and once through the vectorized hot path, asserts
+the two produce identical detections, and reports the speedup plus a
+per-stage latency breakdown from the ``repro.obs`` registry.
+
+Run standalone:
+
+    PYTHONPATH=src python benchmarks/bench_e10_pipeline_latency.py
+    PYTHONPATH=src python benchmarks/bench_e10_pipeline_latency.py --smoke
+
+``--smoke`` shrinks the scene (CI-friendly, a couple of seconds).
+"""
+
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+import numpy as np
+
+from benchmarks.common import print_table
+from repro.data import SceneConfig, SceneGenerator, attribute_head_spec, get_task
+from repro.data.datasets import num_classes
+from repro.detect import TaskDetector
+from repro.kg import GraphMatcher, SimulatedLLM
+from repro.nn import VisionTransformer, ViTConfig
+from repro.obs import get_registry
+
+# Stages recorded by the detection hot path, in pipeline order.
+PIPELINE_STAGES = [
+    "detect.window_build",
+    "detect.model_forward",
+    "detect.kg_match",
+    "detect.nms",
+    "detect.total",
+]
+
+
+def _build_detectors(grid: int):
+    """Fresh (untrained) student + task matcher: weights don't affect
+    timing, and skipping ArtifactBuilder keeps the benchmark stateless."""
+    config = ViTConfig.student(num_classes(), attribute_head_spec())
+    model = VisionTransformer(config, rng=np.random.default_rng(0))
+    kg = SimulatedLLM().generate_for_task(get_task("roadside_hazards"))
+    scene = SceneGenerator(SceneConfig(grid=grid), seed=7).generate()
+    common = dict(matcher=GraphMatcher(kg), score_threshold=0.0)
+    reference = TaskDetector(model, vectorized=False, **common)
+    vectorized = TaskDetector(model, vectorized=True, **common)
+    return scene, reference, vectorized
+
+
+def _time_detect(detector, scene, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        detector.detect(scene)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def run_experiment(grid: int = 25, repeats: int = 3):
+    scene, reference, vectorized = _build_detectors(grid)
+    obs = get_registry()
+
+    # Correctness gate: the vectorized path must reproduce the seed
+    # detections exactly (same boxes, same keep order).
+    ref_dets = reference.detect(scene)
+    vec_dets = vectorized.detect(scene)
+    assert [d.bbox for d in ref_dets] == [d.bbox for d in vec_dets], \
+        "vectorized pipeline diverged from the reference implementation"
+    np.testing.assert_allclose([d.score for d in ref_dets],
+                               [d.score for d in vec_dets], rtol=1e-12)
+
+    reference_s = _time_detect(reference, scene, repeats)
+    obs.reset()  # isolate the vectorized run's per-stage numbers
+    vectorized_s = _time_detect(vectorized, scene, repeats)
+    stage_stats = obs.snapshot()["timers"]
+
+    summary = [{
+        "scene": f"{grid}x{grid} cells",
+        "windows": grid * grid,
+        "detections": len(vec_dets),
+        "reference_ms": reference_s * 1e3,
+        "vectorized_ms": vectorized_s * 1e3,
+        "speedup": reference_s / vectorized_s,
+    }]
+    total = stage_stats.get("detect.total", {}).get("total_s", 0.0)
+    stages = [
+        {
+            "stage": name,
+            "calls": stats["calls"],
+            "total_ms": stats["total_s"] * 1e3,
+            "mean_ms": stats["mean_s"] * 1e3,
+            "share_pct": 100.0 * stats["total_s"] / total if total else 0.0,
+        }
+        for name in PIPELINE_STAGES
+        if (stats := stage_stats.get(name)) is not None
+    ]
+    return summary, stages
+
+
+def _print_results(summary, stages) -> None:
+    print_table("E10: end-to-end detect() latency (vectorized vs seed)", summary)
+    print_table("E10: vectorized run, per-stage breakdown", stages)
+    print()
+    print(get_registry().report("E10 pipeline"))
+
+
+def test_e10_pipeline_latency(benchmark):
+    summary, stages = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    _print_results(summary, stages)
+    assert summary[0]["speedup"] >= 3.0
+    # Every pipeline stage must have been observed in the vectorized run.
+    assert {row["stage"] for row in stages} >= set(PIPELINE_STAGES)
+
+
+def main():
+    smoke = "--smoke" in sys.argv[1:]
+    summary, stages = run_experiment(grid=8 if smoke else 25,
+                                     repeats=1 if smoke else 3)
+    _print_results(summary, stages)
+    if not smoke and summary[0]["speedup"] < 3.0:
+        print(f"WARNING: speedup {summary[0]['speedup']:.2f}x below the 3x target")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -29,6 +29,7 @@ from repro.hw import (
     Simulator,
 )
 from repro.nn import VisionTransformer, ViTConfig
+from repro.obs import get_registry
 from repro.quant import quantize_vit
 
 
@@ -74,8 +75,10 @@ def run_experiment():
 
 
 def test_e3_speedup(benchmark):
+    get_registry().reset()
     rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
     print_table("E3: accelerator vs GPU latency (batch 1)", rows)
+    print(get_registry().report("E3 simulator stages"))
     deployed = rows[0]
     # Paper reports 3.5x; our calibrated models should land in the same
     # regime (accelerator clearly ahead, single-digit factor vs the
@@ -93,7 +96,9 @@ def test_e3_accelerator_inference_kernel(benchmark):
 
 
 def main():
+    get_registry().reset()
     print_table("E3: accelerator vs GPU latency (batch 1)", run_experiment())
+    print(get_registry().report("E3 simulator stages"))
 
 
 if __name__ == "__main__":

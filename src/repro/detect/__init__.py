@@ -7,7 +7,7 @@ both classic detection quality (precision/recall/AP) and the paper's
 task-accuracy measure.
 """
 
-from repro.detect.boxes import box_iou, box_area, clip_box, nms
+from repro.detect.boxes import box_iou, box_area, clip_box, nms, nms_reference
 from repro.detect.pipeline import Detection, TaskDetector, predict_windows
 from repro.detect.metrics import (
     DetectionMetrics,
@@ -24,6 +24,7 @@ __all__ = [
     "box_area",
     "clip_box",
     "nms",
+    "nms_reference",
     "Detection",
     "TaskDetector",
     "predict_windows",

@@ -40,20 +40,37 @@ def clip_box(box: Box, width: float, height: float) -> Box:
     )
 
 
-def nms(boxes: Sequence[Box], scores: Sequence[float],
-        iou_threshold: float = 0.5) -> List[int]:
-    """Greedy non-maximum suppression.
+def _descending_order(scores: Sequence[float]) -> np.ndarray:
+    """Indices by descending score, ties broken by ascending index.
 
-    Returns the indices of kept boxes, in descending score order.  The
-    classic invariants hold: kept boxes are mutually below the IoU
-    threshold, and every suppressed box overlaps some higher-scoring kept
-    box at or above it.
+    A *stable* sort on the negated scores makes tied scores keep their
+    input order, so NMS keep sets are reproducible across numpy versions
+    (plain ``argsort`` uses an unstable quicksort whose tie order is an
+    implementation detail).
     """
+    return np.argsort(-np.asarray(scores, dtype=np.float64), kind="stable")
+
+
+def _validate_nms_args(boxes, scores, iou_threshold: float) -> None:
     if len(boxes) != len(scores):
         raise ValueError("boxes and scores must have equal length")
     if not 0.0 <= iou_threshold <= 1.0:
         raise ValueError("iou_threshold must be in [0, 1]")
-    order = np.argsort(np.asarray(scores, dtype=np.float64))[::-1]
+
+
+def nms_reference(boxes: Sequence[Box], scores: Sequence[float],
+                  iou_threshold: float = 0.5) -> List[int]:
+    """Greedy non-maximum suppression — readable O(N²) loop version.
+
+    Kept as the reference oracle for :func:`nms`: the test suite asserts
+    the vectorized implementation returns identical keep lists on random
+    inputs.  Returns the indices of kept boxes, in descending score
+    order.  The classic invariants hold: kept boxes are mutually below
+    the IoU threshold, and every suppressed box overlaps some
+    higher-scoring kept box at or above it.
+    """
+    _validate_nms_args(boxes, scores, iou_threshold)
+    order = _descending_order(scores)
     kept: List[int] = []
     suppressed = np.zeros(len(boxes), dtype=bool)
     for idx in order:
@@ -65,4 +82,37 @@ def nms(boxes: Sequence[Box], scores: Sequence[float],
                 continue
             if box_iou(boxes[idx], boxes[other]) >= iou_threshold:
                 suppressed[other] = True
+    return kept
+
+
+def nms(boxes: Sequence[Box], scores: Sequence[float],
+        iou_threshold: float = 0.5) -> List[int]:
+    """Greedy non-maximum suppression, vectorized.
+
+    Identical contract and keep lists as :func:`nms_reference`, but each
+    greedy step computes IoU of the top survivor against all remaining
+    candidates in one batched numpy pass over precomputed areas, so the
+    Python-level work is O(number of kept boxes) instead of O(N²).
+    """
+    _validate_nms_args(boxes, scores, iou_threshold)
+    if len(boxes) == 0:
+        return []
+    coords = np.asarray(boxes, dtype=np.float64).reshape(len(boxes), 4)
+    x0, y0, x1, y1 = coords[:, 0], coords[:, 1], coords[:, 2], coords[:, 3]
+    areas = np.maximum(0.0, x1 - x0) * np.maximum(0.0, y1 - y0)
+    order = _descending_order(scores)
+    kept: List[int] = []
+    while order.size:
+        idx = order[0]
+        kept.append(int(idx))
+        rest = order[1:]
+        ix0 = np.maximum(x0[idx], x0[rest])
+        iy0 = np.maximum(y0[idx], y0[rest])
+        ix1 = np.minimum(x1[idx], x1[rest])
+        iy1 = np.minimum(y1[idx], y1[rest])
+        inter = np.maximum(0.0, ix1 - ix0) * np.maximum(0.0, iy1 - iy0)
+        union = areas[idx] + areas[rest] - inter
+        with np.errstate(divide="ignore", invalid="ignore"):
+            iou = np.where((inter > 0.0) & (union > 0.0), inter / union, 0.0)
+        order = rest[iou < iou_threshold]
     return kept

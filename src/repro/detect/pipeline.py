@@ -23,9 +23,10 @@ import numpy as np
 
 from repro.data.datasets import background_class_id
 from repro.data.scenes import Scene
-from repro.detect.boxes import nms
+from repro.detect.boxes import nms, nms_reference
 from repro.kg.matcher import GraphMatcher
 from repro.nn import VisionTransformer
+from repro.obs import get_registry
 from repro.quant.vit import QuantizedVisionTransformer
 from repro.tensor import Tensor, no_grad
 
@@ -38,28 +39,50 @@ def _softmax_np(x: np.ndarray, axis: int = -1) -> np.ndarray:
     return e / e.sum(axis=axis, keepdims=True)
 
 
+def _empty_predictions(model: ModelLike) -> Dict[str, np.ndarray]:
+    """Well-formed zero-row outputs matching the model's head shapes."""
+    cfg = model.config
+    result: Dict[str, np.ndarray] = {
+        "class_probs": np.zeros((0, cfg.num_classes), dtype=np.float32),
+        "attribute_probs": {
+            family: np.zeros((0, cardinality), dtype=np.float32)
+            for family, cardinality in cfg.attribute_heads
+        },
+    }
+    if cfg.with_task_head:
+        result["task_probs"] = np.zeros(0, dtype=np.float32)
+    return result
+
+
 def predict_windows(model: ModelLike, windows: np.ndarray,
                     batch_size: int = 64) -> Dict[str, np.ndarray]:
     """Run a model configuration over ``(N, 3, S, S)`` windows.
 
     Returns ``{"class_probs": (N, C), "attribute_probs": {family: (N, V)}}``.
+    An empty batch (``N == 0``) yields zero-row arrays of the right widths
+    instead of crashing on an empty concatenate.
     """
+    if windows.shape[0] == 0:
+        return _empty_predictions(model)
+    obs = get_registry()
+    obs.count("detect.windows_scored", windows.shape[0])
     class_chunks: List[np.ndarray] = []
     attr_chunks: Dict[str, List[np.ndarray]] = {}
     task_chunks: List[np.ndarray] = []
     for start in range(0, windows.shape[0], batch_size):
         chunk = np.asarray(windows[start:start + batch_size], dtype=np.float32)
-        if isinstance(model, QuantizedVisionTransformer):
-            out = model(chunk)
-            class_logits = out["class_logits"]
-            attrs = out["attributes"]
-            task_logits = out.get("task_logits")
-        else:
-            with no_grad():
-                out = model(Tensor(chunk))
-            class_logits = out["class_logits"].data
-            attrs = {k: v.data for k, v in out["attributes"].items()}
-            task_logits = out["task_logits"].data if "task_logits" in out else None
+        with obs.time("detect.model_forward"):
+            if isinstance(model, QuantizedVisionTransformer):
+                out = model(chunk)
+                class_logits = out["class_logits"]
+                attrs = out["attributes"]
+                task_logits = out.get("task_logits")
+            else:
+                with no_grad():
+                    out = model(Tensor(chunk))
+                class_logits = out["class_logits"].data
+                attrs = {k: v.data for k, v in out["attributes"].items()}
+                task_logits = out["task_logits"].data if "task_logits" in out else None
         class_chunks.append(_softmax_np(class_logits))
         for family, logits in attrs.items():
             attr_chunks.setdefault(family, []).append(_softmax_np(logits))
@@ -111,6 +134,12 @@ class TaskDetector:
     nms_iou:
         IoU threshold for the final NMS pass (grid windows never overlap,
         but sliding-window mode produces duplicates).
+    vectorized:
+        When True (default), window extraction uses a batched
+        stride-tricks gather and NMS the batched-IoU implementation.
+        When False, both fall back to the readable per-cell / O(N²)
+        reference loops — the seed implementation, kept as an oracle for
+        tests and as the baseline in ``bench_e10_pipeline_latency``.
     """
 
     def __init__(
@@ -120,6 +149,7 @@ class TaskDetector:
         score_threshold: float = 0.35,
         nms_iou: float = 0.5,
         batch_size: int = 64,
+        vectorized: bool = True,
     ) -> None:
         if not 0.0 <= score_threshold <= 1.0:
             raise ValueError("score_threshold must be in [0, 1]")
@@ -128,54 +158,99 @@ class TaskDetector:
         self.score_threshold = score_threshold
         self.nms_iou = nms_iou
         self.batch_size = batch_size
+        self.vectorized = vectorized
 
     # ------------------------------------------------------------------
     def _windows(self, scene: Scene,
                  stride: Optional[int] = None) -> Tuple[np.ndarray, List[Tuple[int, int, int, int]]]:
+        with get_registry().time("detect.window_build"):
+            if self.vectorized:
+                return self._windows_vectorized(scene, stride=stride)
+            return self._windows_loop(scene, stride=stride)
+
+    @staticmethod
+    def _window_starts(scene: Scene, stride: Optional[int]) -> Tuple[int, np.ndarray]:
         size = scene.cell_size
         stride = stride or size
+        limit = scene.size - size
+        starts = np.arange(0, limit + 1, stride) if limit >= 0 else np.empty(0, int)
+        return size, starts
+
+    def _windows_loop(self, scene: Scene,
+                      stride: Optional[int] = None) -> Tuple[np.ndarray, List[Tuple[int, int, int, int]]]:
+        """Reference one-crop-per-cell extraction (seed implementation)."""
+        size, starts = self._window_starts(scene, stride)
         boxes: List[Tuple[int, int, int, int]] = []
         crops: List[np.ndarray] = []
-        limit = scene.size - size
-        for y0 in range(0, limit + 1, stride):
-            for x0 in range(0, limit + 1, stride):
-                bbox = (x0, y0, x0 + size, y0 + size)
+        for y0 in starts:
+            for x0 in starts:
+                bbox = (int(x0), int(y0), int(x0) + size, int(y0) + size)
                 boxes.append(bbox)
                 crops.append(scene.crop(bbox))
+        if not crops:
+            channels = scene.image.shape[0]
+            return np.zeros((0, channels, size, size), dtype=scene.image.dtype), []
         return np.stack(crops), boxes
 
-    def detect(self, scene: Scene, stride: Optional[int] = None) -> List[Detection]:
-        windows, boxes = self._windows(scene, stride=stride)
-        predictions = predict_windows(self.model, windows, batch_size=self.batch_size)
-        class_probs = predictions["class_probs"]
-        attribute_probs = predictions["attribute_probs"]
-
-        objectness = 1.0 - class_probs[:, background_class_id()]
-        if "task_probs" in predictions:
-            # Task-specific configuration: the distilled task head IS the
-            # knowledge graph's decision, baked into the specialist.
-            task_scores = predictions["task_probs"]
-        elif self.matcher is not None:
-            task_scores = self.matcher.match_distributions(attribute_probs).score
-        else:
-            task_scores = np.ones_like(objectness)
-        combined = objectness * task_scores
-
-        candidates = [
-            Detection(
-                bbox=boxes[i],
-                score=float(combined[i]),
-                objectness=float(objectness[i]),
-                task_score=float(task_scores[i]),
-                class_id=int(class_probs[i].argmax()),
-                attribute_probs={
-                    family: probs[i] for family, probs in attribute_probs.items()
-                },
-            )
-            for i in np.flatnonzero(combined >= self.score_threshold)
+    def _windows_vectorized(self, scene: Scene,
+                            stride: Optional[int] = None) -> Tuple[np.ndarray, List[Tuple[int, int, int, int]]]:
+        """Batched extraction: one strided gather builds the whole batch."""
+        size, starts = self._window_starts(scene, stride)
+        channels = scene.image.shape[0]
+        if starts.size == 0:
+            # Scene smaller than one window: no valid placements.
+            return np.zeros((0, channels, size, size), dtype=scene.image.dtype), []
+        view = np.lib.stride_tricks.sliding_window_view(
+            scene.image, (size, size), axis=(1, 2))
+        # (C, ny, nx, S, S) -> (ny, nx, C, S, S) -> (N, C, S, S)
+        windows = view[:, starts[:, None], starts[None, :]]
+        windows = windows.transpose(1, 2, 0, 3, 4).reshape(-1, channels, size, size)
+        boxes = [
+            (int(x0), int(y0), int(x0) + size, int(y0) + size)
+            for y0 in starts for x0 in starts
         ]
-        if not candidates:
-            return []
-        keep = nms([d.bbox for d in candidates], [d.score for d in candidates],
-                   iou_threshold=self.nms_iou)
-        return [candidates[i] for i in keep]
+        return windows, boxes
+
+    def detect(self, scene: Scene, stride: Optional[int] = None) -> List[Detection]:
+        obs = get_registry()
+        with obs.time("detect.total"):
+            windows, boxes = self._windows(scene, stride=stride)
+            predictions = predict_windows(self.model, windows,
+                                          batch_size=self.batch_size)
+            class_probs = predictions["class_probs"]
+            attribute_probs = predictions["attribute_probs"]
+
+            objectness = 1.0 - class_probs[:, background_class_id()]
+            with obs.time("detect.kg_match"):
+                if "task_probs" in predictions:
+                    # Task-specific configuration: the distilled task head
+                    # IS the knowledge graph's decision, baked into the
+                    # specialist.
+                    task_scores = predictions["task_probs"]
+                elif self.matcher is not None:
+                    task_scores = self.matcher.match_distributions(attribute_probs).score
+                else:
+                    task_scores = np.ones_like(objectness)
+            combined = objectness * task_scores
+
+            candidates = [
+                Detection(
+                    bbox=boxes[i],
+                    score=float(combined[i]),
+                    objectness=float(objectness[i]),
+                    task_score=float(task_scores[i]),
+                    class_id=int(class_probs[i].argmax()),
+                    attribute_probs={
+                        family: probs[i] for family, probs in attribute_probs.items()
+                    },
+                )
+                for i in np.flatnonzero(combined >= self.score_threshold)
+            ]
+            if not candidates:
+                return []
+            nms_fn = nms if self.vectorized else nms_reference
+            with obs.time("detect.nms"):
+                keep = nms_fn([d.bbox for d in candidates],
+                              [d.score for d in candidates],
+                              iou_threshold=self.nms_iou)
+            return [candidates[i] for i in keep]

@@ -19,14 +19,29 @@ test suite checks with hypothesis.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Mapping, Optional, Union
+from typing import Dict, List, Mapping, Optional, Tuple, Union
 
 import numpy as np
 
 from repro.data.ontology import ATTRIBUTE_FAMILIES, AttributeProfile, attribute_index
 from repro.kg.schema import Constraint, ConstraintKind, KnowledgeGraph
+from repro.obs import get_registry
 
 ArrayLike = Union[np.ndarray, "list"]
+
+
+@dataclasses.dataclass(frozen=True)
+class _ConstraintPlan:
+    """Precomputed lookup for one constraint: resolved value indices.
+
+    ``attribute_index`` is a dict walk per value; resolving once at plan
+    build time turns ``match_distributions`` into a handful of numpy
+    gathers per constraint instead of per-call Python index resolution.
+    """
+
+    constraint: Constraint
+    indices: np.ndarray   # sorted positions of the value set in the family vocab
+    cardinality: int      # |family vocabulary|, for the uniform fallback
 
 
 @dataclasses.dataclass
@@ -62,8 +77,28 @@ class GraphMatcher:
         self.kg = kg
         self.preference_gamma = preference_gamma
         self.floor = floor
+        self._plan: List[_ConstraintPlan] = []
+        self._plan_version = -1
+        self._constraint_plan()
 
     # ------------------------------------------------------------------
+    def _constraint_plan(self) -> List[_ConstraintPlan]:
+        """Per-constraint index arrays, rebuilt when the KG is edited."""
+        if self._plan_version != self.kg.version:
+            self._plan = [
+                _ConstraintPlan(
+                    constraint=c,
+                    indices=np.array(
+                        sorted(attribute_index(c.family, v) for v in c.values),
+                        dtype=np.intp,
+                    ),
+                    cardinality=len(ATTRIBUTE_FAMILIES[c.family]),
+                )
+                for c in self.kg.constraints
+            ]
+            self._plan_version = self.kg.version
+        return self._plan
+
     def _mass(self, probs: np.ndarray, family: str, values) -> np.ndarray:
         indices = [attribute_index(family, v) for v in values]
         return probs[..., indices].sum(axis=-1)
@@ -77,45 +112,54 @@ class GraphMatcher:
         summing to one.  Families missing from the mapping are treated as
         uniform (maximum uncertainty).
         """
-        first = next(iter(attribute_probs.values()), None)
-        batch = 1 if first is None else np.asarray(first).shape[0]
+        with get_registry().time("kg.match"):
+            first = next(iter(attribute_probs.values()), None)
+            batch = 1 if first is None else np.asarray(first).shape[0]
 
-        log_score = np.zeros(batch, dtype=np.float64)
-        total_weight = 0.0
-        preference_factor = np.ones(batch, dtype=np.float64)
-        breakdown: Dict[str, np.ndarray] = {}
+            log_score = np.zeros(batch, dtype=np.float64)
+            total_weight = 0.0
+            preference_factor = np.ones(batch, dtype=np.float64)
+            breakdown: Dict[str, np.ndarray] = {}
 
-        for constraint in self.kg.constraints:
-            family = constraint.family
-            if family in attribute_probs:
-                probs = np.asarray(attribute_probs[family], dtype=np.float64)
+            for plan in self._constraint_plan():
+                constraint = plan.constraint
+                family = constraint.family
+                if family in attribute_probs:
+                    probs = np.asarray(attribute_probs[family], dtype=np.float64)
+                    mass = probs[..., plan.indices].sum(axis=-1)
+                else:
+                    # Uniform distribution: mass is |values| / |vocabulary|.
+                    mass = np.full(
+                        batch, plan.indices.size / plan.cardinality,
+                        dtype=np.float64,
+                    )
+
+                if constraint.kind == ConstraintKind.REQUIRES:
+                    satisfied = mass
+                elif constraint.kind == ConstraintKind.EXCLUDES:
+                    satisfied = 1.0 - mass
+                else:  # PREFERS: soft rescale, outside the geometric mean
+                    factor = 1.0 - self.preference_gamma * constraint.weight * (1.0 - mass)
+                    # An over-weighted preference (weight > 1/gamma) would
+                    # drive the factor negative — and two such violations
+                    # would multiply back positive, *raising* the score.
+                    # Preferences dampen, never veto and never flip sign.
+                    preference_factor *= np.clip(factor, 0.0, 1.0)
+                    breakdown[f"prefers:{family}"] = mass
+                    continue
+
+                satisfied = np.clip(satisfied, self.floor, 1.0)
+                log_score += constraint.weight * np.log(satisfied)
+                total_weight += constraint.weight
+                breakdown[f"{constraint.kind.value}:{family}"] = satisfied
+
+            if total_weight > 0.0:
+                score = np.exp(log_score / total_weight)
             else:
-                card = len(ATTRIBUTE_FAMILIES[family])
-                probs = np.full((batch, card), 1.0 / card)
-
-            mass = self._mass(probs, family, constraint.values)
-            if constraint.kind == ConstraintKind.REQUIRES:
-                satisfied = mass
-            elif constraint.kind == ConstraintKind.EXCLUDES:
-                satisfied = 1.0 - mass
-            else:  # PREFERS: soft rescale, outside the geometric mean
-                factor = 1.0 - self.preference_gamma * constraint.weight * (1.0 - mass)
-                preference_factor *= factor
-                breakdown[f"prefers:{family}"] = mass
-                continue
-
-            satisfied = np.clip(satisfied, self.floor, 1.0)
-            log_score += constraint.weight * np.log(satisfied)
-            total_weight += constraint.weight
-            breakdown[f"{constraint.kind.value}:{family}"] = satisfied
-
-        if total_weight > 0.0:
-            score = np.exp(log_score / total_weight)
-        else:
-            # No hard constraints: every object is task-relevant.
-            score = np.ones(batch, dtype=np.float64)
-        score = np.clip(score * preference_factor, 0.0, 1.0)
-        return MatchResult(score=score, per_constraint=breakdown)
+                # No hard constraints: every object is task-relevant.
+                score = np.ones(batch, dtype=np.float64)
+            score = np.clip(score * preference_factor, 0.0, 1.0)
+            return MatchResult(score=score, per_constraint=breakdown)
 
     # ------------------------------------------------------------------
     def match_profiles(self, profiles: List[Optional[AttributeProfile]]) -> MatchResult:

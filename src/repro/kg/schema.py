@@ -66,6 +66,7 @@ class KnowledgeGraph:
         self.graph = nx.DiGraph()
         self.graph.add_node(self._task_node, kind="task", label=task_name)
         self._constraints: List[Constraint] = []
+        self._version = 0
 
     # ------------------------------------------------------------------
     @property
@@ -134,8 +135,18 @@ class KnowledgeGraph:
                 return c
         return None
 
+    @property
+    def version(self) -> int:
+        """Monotonic edit counter; bumped on every constraint change.
+
+        Lets consumers (e.g. :class:`repro.kg.matcher.GraphMatcher`)
+        cache per-constraint index plans and invalidate them cheaply.
+        """
+        return self._version
+
     def _sync_graph(self) -> None:
         """Rebuild the networkx view from the constraint list."""
+        self._version += 1
         g = nx.DiGraph()
         g.add_node(self._task_node, kind="task", label=self.task_name)
         for c in self._constraints:

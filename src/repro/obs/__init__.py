@@ -1,0 +1,16 @@
+"""Lightweight observability: stage timers and counters for hot paths.
+
+``repro.obs`` has no dependencies (stdlib only) and is safe to import
+from any layer.  The detection pipeline, KG matcher, and hardware
+simulator all record into the process-wide registry so benchmarks can
+print a per-stage latency breakdown instead of one opaque number:
+
+    from repro.obs import get_registry
+    get_registry().reset()
+    detector.detect(scene)
+    print(get_registry().report("detect"))
+"""
+
+from repro.obs.registry import Counter, Registry, Timer, get_registry, traced
+
+__all__ = ["Counter", "Registry", "Timer", "get_registry", "traced"]

@@ -1,0 +1,208 @@
+"""Zero-dependency timers and counters for the inference hot path.
+
+The registry is deliberately tiny: a :class:`Timer` accumulates wall-clock
+durations per named stage, a :class:`Counter` accumulates event counts,
+and a :class:`Registry` holds both behind get-or-create accessors.  Code
+under measurement uses the ``with registry.time("stage")`` context manager
+(or the :func:`traced` decorator for whole functions); benchmarks call
+``registry.report()`` to print a per-stage latency table and
+``registry.reset()`` between timed sections.
+
+A process-wide default registry (:func:`get_registry`) lets deep call
+sites — window extraction, model forward, KG matching, NMS, the hardware
+simulator — record into one shared table without plumbing a handle
+through every signature.  Instrumentation overhead is two
+``perf_counter`` calls per stage; setting ``registry.enabled = False``
+turns every probe into a no-op for overhead-sensitive runs.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+import functools
+import math
+import threading
+import time
+from typing import Callable, Dict, Iterator, Optional
+
+__all__ = [
+    "Counter",
+    "Timer",
+    "Registry",
+    "get_registry",
+    "traced",
+]
+
+
+@dataclasses.dataclass
+class Timer:
+    """Accumulated wall-clock statistics for one named stage."""
+
+    name: str
+    calls: int = 0
+    total_s: float = 0.0
+    min_s: float = math.inf
+    max_s: float = 0.0
+    last_s: float = 0.0
+
+    def record(self, seconds: float) -> None:
+        self.calls += 1
+        self.total_s += seconds
+        self.min_s = min(self.min_s, seconds)
+        self.max_s = max(self.max_s, seconds)
+        self.last_s = seconds
+
+    @property
+    def mean_s(self) -> float:
+        return self.total_s / self.calls if self.calls else 0.0
+
+
+@dataclasses.dataclass
+class Counter:
+    """Accumulated event count (windows scanned, ops simulated, ...)."""
+
+    name: str
+    value: float = 0
+
+    def add(self, amount: float = 1) -> None:
+        self.value += amount
+
+
+class Registry:
+    """Named collection of timers and counters.
+
+    Thread-safe for concurrent ``time``/``count`` calls; detection servers
+    can share one registry across worker threads.
+    """
+
+    def __init__(self, name: str = "obs") -> None:
+        self.name = name
+        self.enabled = True
+        self._timers: Dict[str, Timer] = {}
+        self._counters: Dict[str, Counter] = {}
+        self._lock = threading.Lock()
+
+    # -- accessors ------------------------------------------------------
+    def timer(self, name: str) -> Timer:
+        with self._lock:
+            timer = self._timers.get(name)
+            if timer is None:
+                timer = self._timers[name] = Timer(name)
+            return timer
+
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            counter = self._counters.get(name)
+            if counter is None:
+                counter = self._counters[name] = Counter(name)
+            return counter
+
+    @property
+    def timers(self) -> Dict[str, Timer]:
+        with self._lock:
+            return dict(self._timers)
+
+    @property
+    def counters(self) -> Dict[str, Counter]:
+        with self._lock:
+            return dict(self._counters)
+
+    # -- recording ------------------------------------------------------
+    @contextlib.contextmanager
+    def time(self, name: str) -> Iterator[None]:
+        """Context manager accumulating the block's wall time under ``name``."""
+        if not self.enabled:
+            yield
+            return
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.timer(name).record(time.perf_counter() - start)
+
+    def count(self, name: str, amount: float = 1) -> None:
+        if self.enabled:
+            self.counter(name).add(amount)
+
+    def traced(self, name: Optional[str] = None) -> Callable:
+        """Decorator timing every call to the wrapped function.
+
+        The stage name defaults to the function's qualified name.
+        """
+
+        def decorate(func: Callable) -> Callable:
+            stage = name or f"{func.__module__.split('.')[-1]}.{func.__qualname__}"
+
+            @functools.wraps(func)
+            def wrapper(*args, **kwargs):
+                with self.time(stage):
+                    return func(*args, **kwargs)
+
+            return wrapper
+
+        return decorate
+
+    # -- inspection -----------------------------------------------------
+    def snapshot(self) -> Dict[str, Dict[str, float]]:
+        """Plain-dict view of all stats (stable for serialization/tests)."""
+        with self._lock:
+            return {
+                "timers": {
+                    n: {
+                        "calls": t.calls,
+                        "total_s": t.total_s,
+                        "mean_s": t.mean_s,
+                        "min_s": t.min_s,
+                        "max_s": t.max_s,
+                        "last_s": t.last_s,
+                    }
+                    for n, t in self._timers.items()
+                },
+                "counters": {n: c.value for n, c in self._counters.items()},
+            }
+
+    def report(self, title: Optional[str] = None) -> str:
+        """Human-readable per-stage latency table, sorted by total time."""
+        lines = [f"== {title or self.name}: per-stage timings =="]
+        timers = sorted(self.timers.values(), key=lambda t: -t.total_s)
+        if timers:
+            width = max(len(t.name) for t in timers)
+            lines.append(
+                f"{'stage'.ljust(width)} | {'calls':>6} | {'total ms':>10} | "
+                f"{'mean ms':>10} | {'max ms':>10}"
+            )
+            for t in timers:
+                lines.append(
+                    f"{t.name.ljust(width)} | {t.calls:>6d} | "
+                    f"{t.total_s * 1e3:>10.3f} | {t.mean_s * 1e3:>10.3f} | "
+                    f"{t.max_s * 1e3:>10.3f}"
+                )
+        else:
+            lines.append("(no timers recorded)")
+        counters = sorted(self.counters.values(), key=lambda c: c.name)
+        if counters:
+            width = max(len(c.name) for c in counters)
+            lines.append("-- counters --")
+            for c in counters:
+                amount = int(c.value) if float(c.value).is_integer() else c.value
+                lines.append(f"{c.name.ljust(width)} | {amount}")
+        return "\n".join(lines)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._timers.clear()
+            self._counters.clear()
+
+
+_GLOBAL = Registry("repro")
+
+
+def get_registry() -> Registry:
+    """The process-wide registry the hot path records into."""
+    return _GLOBAL
+
+
+def traced(name: Optional[str] = None) -> Callable:
+    """``@traced("stage")`` — time calls into the global registry."""
+    return _GLOBAL.traced(name)

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.detect import box_area, box_iou, clip_box, nms
+from repro.detect import box_area, box_iou, clip_box, nms, nms_reference
 
 
 def boxes_strategy():
@@ -68,6 +68,25 @@ class TestNMS:
         kept = nms(boxes, [0.1, 0.9])
         assert kept == [1, 0]
 
+    def test_tied_scores_deterministic(self):
+        """Stable sort: ties resolve to ascending input index, so the keep
+        set no longer depends on numpy's unstable quicksort."""
+        boxes = [(0, 0, 10, 10), (1, 1, 11, 11), (0, 0, 10, 10)]
+        scores = [0.7, 0.7, 0.7]
+        for fn in (nms, nms_reference):
+            assert fn(boxes, scores, iou_threshold=0.5) == [0]
+        disjoint = [(0, 0, 10, 10), (20, 20, 30, 30), (40, 40, 50, 50)]
+        for fn in (nms, nms_reference):
+            assert fn(disjoint, [0.5, 0.5, 0.5]) == [0, 1, 2]
+
+    def test_vectorized_empty_and_validation_match_reference(self):
+        assert nms([], []) == nms_reference([], []) == []
+        for fn in (nms, nms_reference):
+            with pytest.raises(ValueError):
+                fn([(0, 0, 1, 1)], [0.5, 0.6])
+            with pytest.raises(ValueError):
+                fn([(0, 0, 1, 1)], [0.5], iou_threshold=-0.1)
+
 
 @settings(max_examples=40, deadline=None)
 @given(st.lists(boxes_strategy(), min_size=1, max_size=12),
@@ -92,6 +111,19 @@ def test_nms_invariants(boxes, threshold):
             and scores[k] >= scores[idx]
             for k in kept
         )
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(boxes_strategy(), min_size=1, max_size=24),
+       st.floats(min_value=0.0, max_value=1.0),
+       st.integers(min_value=0, max_value=2 ** 31 - 1))
+def test_nms_vectorized_matches_reference(boxes, threshold, seed):
+    """The vectorized nms is byte-identical to the loop oracle —
+    including tied scores (drawn from a coarse grid to force ties)."""
+    rng = np.random.default_rng(seed)
+    scores = (rng.integers(0, 4, size=len(boxes)) / 4.0).tolist()
+    assert nms(boxes, scores, iou_threshold=threshold) == \
+        nms_reference(boxes, scores, iou_threshold=threshold)
 
 
 @settings(max_examples=40, deadline=None)

@@ -5,6 +5,7 @@ import pytest
 
 from repro.data import SceneConfig, SceneGenerator, get_task
 from repro.data.datasets import background_class_id, num_classes
+from repro.data.scenes import Scene
 from repro.detect import TaskDetector, predict_windows, task_accuracy
 from repro.kg import GraphMatcher, SimulatedLLM
 from repro.quant import quantize_vit
@@ -37,6 +38,24 @@ class TestPredictWindows:
         large = predict_windows(student_vit, windows, batch_size=64)
         np.testing.assert_allclose(small["class_probs"], large["class_probs"],
                                    atol=1e-5)
+
+    def test_zero_windows_float_model(self, student_vit):
+        """Regression: an empty batch used to crash on np.concatenate([])."""
+        out = predict_windows(student_vit, np.zeros((0, 3, 32, 32), np.float32))
+        assert out["class_probs"].shape == (0, num_classes())
+        reference = predict_windows(
+            student_vit,
+            np.random.default_rng(3).random((2, 3, 32, 32)).astype(np.float32))
+        for family, probs in reference["attribute_probs"].items():
+            assert out["attribute_probs"][family].shape == (0, probs.shape[1])
+        assert ("task_probs" in out) == ("task_probs" in reference)
+
+    def test_zero_windows_quantized_model(self, student_vit):
+        rng = np.random.default_rng(4)
+        calibration = rng.random((8, 3, 32, 32)).astype(np.float32)
+        q = quantize_vit(student_vit, calibration)
+        out = predict_windows(q, np.zeros((0, 3, 32, 32), np.float32))
+        assert out["class_probs"].shape == (0, num_classes())
 
 
 class TestTaskDetector:
@@ -85,6 +104,41 @@ class TestTaskDetector:
     def test_score_threshold_validation(self, student_vit):
         with pytest.raises(ValueError):
             TaskDetector(student_vit, score_threshold=1.5)
+
+    def test_scene_smaller_than_window_yields_no_detections(self, student_vit):
+        """Regression: a scene below one cell used to crash np.stack([])."""
+        tiny = Scene(image=np.zeros((3, 16, 16), dtype=np.float32),
+                     objects=[], grid=1, cell_size=32)
+        for vectorized in (True, False):
+            detector = TaskDetector(student_vit, score_threshold=0.0,
+                                    vectorized=vectorized)
+            windows, boxes = detector._windows(tiny)
+            assert windows.shape == (0, 3, 32, 32)
+            assert boxes == []
+            assert detector.detect(tiny) == []
+
+    def test_windows_vectorized_matches_loop(self, student_vit, scene):
+        detector = TaskDetector(student_vit, score_threshold=0.0)
+        for stride in (None, 16, 24):
+            vec_windows, vec_boxes = detector._windows_vectorized(scene, stride=stride)
+            loop_windows, loop_boxes = detector._windows_loop(scene, stride=stride)
+            assert vec_boxes == loop_boxes
+            np.testing.assert_array_equal(vec_windows, loop_windows)
+
+    def test_detect_vectorized_matches_reference(self, student_vit, scene):
+        task = get_task("stop_control")
+        matcher = GraphMatcher(SimulatedLLM().generate_for_task(task))
+        for stride in (None, 16):
+            results = []
+            for vectorized in (True, False):
+                detector = TaskDetector(student_vit, matcher=matcher,
+                                        score_threshold=0.0,
+                                        vectorized=vectorized)
+                results.append(detector.detect(scene, stride=stride))
+            vec, ref = results
+            assert [d.bbox for d in vec] == [d.bbox for d in ref]
+            np.testing.assert_allclose([d.score for d in vec],
+                                       [d.score for d in ref], rtol=1e-12)
 
     def test_task_accuracy_range(self, student_vit):
         task = get_task("roadside_hazards")

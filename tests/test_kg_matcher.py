@@ -120,6 +120,54 @@ class TestScoring:
         with pytest.raises(ValueError):
             GraphMatcher(kg, preference_gamma=1.0)
 
+    def test_overweight_prefers_clamped_to_zero(self):
+        """Regression: weight > 1/gamma made the preference factor
+        negative, and two violated preferences multiplied back positive —
+        a fully-violated preference could *raise* the score.
+
+        ``Constraint`` validates weight <= 1 at construction, so forge
+        over-weighted constraints (as a corrupted or legacy-serialized
+        graph would carry) to exercise the matcher's own guard.
+        """
+
+        def forged(kind, family, values, weight):
+            c = Constraint(kind, family, frozenset(values), 1.0)
+            object.__setattr__(c, "weight", weight)
+            return c
+
+        base = make_kg((ConstraintKind.REQUIRES, "color", {"red"}, 1.0))
+        one = make_kg((ConstraintKind.REQUIRES, "color", {"red"}, 1.0))
+        one.add_constraint(forged(ConstraintKind.PREFERS, "shape",
+                                  {"diamond"}, 10.0))
+        two = make_kg((ConstraintKind.REQUIRES, "color", {"red"}, 1.0))
+        two.add_constraint(forged(ConstraintKind.PREFERS, "shape",
+                                  {"diamond"}, 10.0))
+        two.add_constraint(forged(ConstraintKind.PREFERS, "size",
+                                  {"large"}, 10.0))
+        probs = concentrated("color", "red")
+        probs["shape"] = concentrated("shape", "circle")["shape"]
+        probs["size"] = concentrated("size", "small")["size"]
+        s_base = GraphMatcher(base).match_distributions(probs).score[0]
+        s_one = GraphMatcher(one).match_distributions(probs).score[0]
+        s_two = GraphMatcher(two).match_distributions(probs).score[0]
+        # each factor clamps to [0, 1]: more violated preferences can only
+        # lower the score, never raise it back up
+        assert s_one <= s_base + 1e-12
+        assert s_two <= s_one + 1e-12
+        assert s_two == pytest.approx(0.0, abs=1e-9)
+
+    def test_plan_tracks_kg_edits(self):
+        """The precomputed index plan must refresh when the KG changes."""
+        kg = make_kg((ConstraintKind.REQUIRES, "color", {"red"}, 1.0))
+        matcher = GraphMatcher(kg)
+        before = matcher.match_distributions(concentrated("color", "blue")).score[0]
+        # merging {blue} into the same (REQUIRES, color) edge keeps the
+        # constraint count identical — only the version bump reveals it
+        kg.add_constraint(Constraint(ConstraintKind.REQUIRES, "color",
+                                     frozenset({"blue"}), 1.0))
+        after = matcher.match_distributions(concentrated("color", "blue")).score[0]
+        assert after > 0.9 > before
+
 
 @settings(max_examples=40, deadline=None)
 @given(st.floats(min_value=0.0, max_value=1.0), st.floats(min_value=0.0, max_value=1.0))

@@ -1,0 +1,173 @@
+"""Observability registry: timers, counters, tracing, reporting."""
+
+import numpy as np
+import pytest
+
+from repro.obs import Counter, Registry, Timer, get_registry, traced
+
+
+@pytest.fixture()
+def registry():
+    return Registry("test")
+
+
+class TestTimer:
+    def test_record_accumulates(self):
+        timer = Timer("t")
+        timer.record(0.5)
+        timer.record(1.5)
+        assert timer.calls == 2
+        assert timer.total_s == pytest.approx(2.0)
+        assert timer.mean_s == pytest.approx(1.0)
+        assert timer.min_s == pytest.approx(0.5)
+        assert timer.max_s == pytest.approx(1.5)
+        assert timer.last_s == pytest.approx(1.5)
+
+    def test_mean_of_untouched_timer_is_zero(self):
+        assert Timer("t").mean_s == 0.0
+
+
+class TestRegistry:
+    def test_time_context_manager(self, registry):
+        with registry.time("stage"):
+            pass
+        with registry.time("stage"):
+            pass
+        timer = registry.timer("stage")
+        assert timer.calls == 2
+        assert timer.total_s >= 0.0
+
+    def test_time_records_on_exception(self, registry):
+        with pytest.raises(RuntimeError):
+            with registry.time("boom"):
+                raise RuntimeError("x")
+        assert registry.timer("boom").calls == 1
+
+    def test_counter(self, registry):
+        registry.count("events")
+        registry.count("events", 4)
+        assert registry.counter("events").value == 5
+
+    def test_get_or_create_is_idempotent(self, registry):
+        assert registry.timer("a") is registry.timer("a")
+        assert registry.counter("b") is registry.counter("b")
+
+    def test_disabled_registry_is_noop(self, registry):
+        registry.enabled = False
+        with registry.time("stage"):
+            pass
+        registry.count("events")
+        snap = registry.snapshot()
+        assert snap["timers"] == {} and snap["counters"] == {}
+
+    def test_traced_decorator(self, registry):
+        @registry.traced("my.stage")
+        def work(x):
+            return x + 1
+
+        assert work(1) == 2
+        assert registry.timer("my.stage").calls == 1
+
+    def test_traced_default_name(self, registry):
+        @registry.traced()
+        def helper():
+            return "ok"
+
+        assert helper() == "ok"
+        names = list(registry.timers)
+        assert len(names) == 1 and "helper" in names[0]
+
+    def test_snapshot_and_report(self, registry):
+        with registry.time("alpha"):
+            pass
+        registry.count("widgets", 3)
+        snap = registry.snapshot()
+        assert snap["timers"]["alpha"]["calls"] == 1
+        assert snap["counters"]["widgets"] == 3
+        report = registry.report("title")
+        assert "title" in report and "alpha" in report and "widgets" in report
+
+    def test_report_empty(self, registry):
+        assert "no timers" in registry.report()
+
+    def test_reset(self, registry):
+        with registry.time("stage"):
+            pass
+        registry.count("events")
+        registry.reset()
+        snap = registry.snapshot()
+        assert snap["timers"] == {} and snap["counters"] == {}
+
+
+class TestGlobalRegistry:
+    def test_singleton(self):
+        assert get_registry() is get_registry()
+
+    def test_module_level_traced(self):
+        registry = get_registry()
+        registry.reset()
+
+        @traced("global.stage")
+        def work():
+            return 7
+
+        try:
+            assert work() == 7
+            assert registry.timer("global.stage").calls == 1
+        finally:
+            registry.reset()
+
+
+class TestPipelineIntegration:
+    """The hot paths actually record into the global registry."""
+
+    def test_detect_records_stages(self, student_vit):
+        from repro.data import SceneConfig, SceneGenerator
+        from repro.detect import TaskDetector
+
+        registry = get_registry()
+        registry.reset()
+        try:
+            scene = SceneGenerator(SceneConfig(), seed=11).generate()
+            TaskDetector(student_vit, score_threshold=0.0).detect(scene)
+            timers = registry.snapshot()["timers"]
+            for stage in ("detect.total", "detect.window_build",
+                          "detect.model_forward", "detect.nms"):
+                assert timers[stage]["calls"] >= 1
+            assert registry.counter("detect.windows_scored").value == scene.grid ** 2
+        finally:
+            registry.reset()
+
+    def test_matcher_records_kg_match(self):
+        from repro.data.ontology import ATTRIBUTE_FAMILIES
+        from repro.kg import Constraint, ConstraintKind, GraphMatcher, KnowledgeGraph
+
+        registry = get_registry()
+        registry.reset()
+        try:
+            kg = KnowledgeGraph("t")
+            kg.add_constraint(Constraint(ConstraintKind.REQUIRES, "color",
+                                         frozenset({"red"}), 1.0))
+            probs = {"color": np.full((2, len(ATTRIBUTE_FAMILIES["color"])),
+                                      1.0 / len(ATTRIBUTE_FAMILIES["color"]))}
+            GraphMatcher(kg).match_distributions(probs)
+            assert registry.timer("kg.match").calls == 1
+        finally:
+            registry.reset()
+
+    def test_simulator_records_step_loop(self):
+        from repro.hw import AcceleratorConfig, Simulator
+        from repro.hw.isa import DmaDirection, DmaOp, Program
+
+        registry = get_registry()
+        registry.reset()
+        try:
+            program = Program(
+                "p", [DmaOp("load", DmaDirection.LOAD, num_bytes=1024)], batch=1)
+            Simulator(AcceleratorConfig.edge_default()).simulate(program)
+            timers = registry.snapshot()["timers"]
+            assert timers["hw.op_model"]["calls"] == 1
+            assert timers["hw.step_loop"]["calls"] == 1
+            assert registry.counter("hw.ops_simulated").value == 1
+        finally:
+            registry.reset()
