@@ -18,7 +18,11 @@ sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
 
 import numpy as np
 
-from benchmarks.common import print_table, quantized_configuration
+from benchmarks.common import (
+    artifact_cache_counters,
+    print_table,
+    quantized_configuration,
+)
 from repro.data import attribute_head_spec, build_window_dataset
 from repro.data.datasets import num_classes
 from repro.hw import (
@@ -99,6 +103,7 @@ def main():
     get_registry().reset()
     print_table("E3: accelerator vs GPU latency (batch 1)", run_experiment())
     print(get_registry().report("E3 simulator stages"))
+    print(f"artifact cache: {artifact_cache_counters()}")
 
 
 if __name__ == "__main__":

@@ -35,6 +35,18 @@ def builder() -> ArtifactBuilder:
     return ArtifactBuilder(seed=0)
 
 
+def artifact_cache_counters() -> Dict[str, float]:
+    """Artifact cache traffic (hit/miss/corrupt/quarantined/rebuild) recorded
+    in the global obs registry by :class:`ArtifactBuilder` lookups."""
+    from repro.obs import get_registry
+
+    return {
+        name: counter.value
+        for name, counter in get_registry().counters.items()
+        if name.startswith("artifacts.")
+    }
+
+
 @functools.lru_cache(maxsize=1)
 def teacher():
     return builder().teacher()

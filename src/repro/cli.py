@@ -15,11 +15,16 @@ Commands
     performance/energy report plus the GPU-baseline comparison.
 ``models``
     list the trained models in the artifact cache.
+``artifacts {list,verify,gc}``
+    inspect and maintain the checkpoint cache: per-entry integrity
+    status, a full verification sweep (non-zero exit on corruption, for
+    CI), and garbage collection of quarantined/temp/lock files.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -106,9 +111,84 @@ def _cmd_models(args: argparse.Namespace) -> int:
         print("artifact cache is empty (models train on first use)")
         return 0
     for name in names:
-        meta = registry.metadata(name)
-        print(f"{name:<48} dim={meta['dim']} depth={meta['depth']} "
+        try:
+            meta = registry.metadata(name)
+        except ValueError:  # json.JSONDecodeError subclasses ValueError
+            print(f"{name:<48} (unreadable meta — run `repro artifacts verify`)")
+            continue
+        print(f"{name:<48} dim={meta.get('dim')} depth={meta.get('depth')} "
               f"task_head={meta.get('with_task_head', False)}")
+    return 0
+
+
+def _artifact_registry(args: argparse.Namespace):
+    from repro.core import ModelRegistry, default_artifact_dir
+
+    return ModelRegistry(args.dir or default_artifact_dir())
+
+
+def _cmd_artifacts_list(args: argparse.Namespace) -> int:
+    registry = _artifact_registry(args)
+    statuses = registry.statuses()
+    if not statuses:
+        print(f"artifact cache at {registry.root} is empty "
+              "(models train on first use)")
+        return 0
+    width = max(len(s.name) for s in statuses)
+    for status in statuses:
+        label = "ok" if status.ok else "CORRUPT"
+        size = (os.path.getsize(status.weights_path)
+                if os.path.exists(status.weights_path) else 0)
+        print(f"{status.name.ljust(width)}  {label:<8} {size:>9d} B")
+        for problem in status.problems if not status.ok else []:
+            print(f"{' ' * width}  - {problem}")
+    return 0
+
+
+def _cmd_artifacts_verify(args: argparse.Namespace) -> int:
+    registry = _artifact_registry(args)
+    statuses = registry.statuses()
+    bad = [s for s in statuses if not s.ok]
+    for status in statuses:
+        marker = "ok     " if status.ok else "CORRUPT"
+        print(f"[{marker}] {status.name}")
+        for problem in status.problems if not status.ok else []:
+            print(f"          {problem}")
+    print(f"{len(statuses)} entr{'y' if len(statuses) == 1 else 'ies'}, "
+          f"{len(bad)} corrupt ({registry.root})")
+    if bad and args.quarantine:
+        for status in bad:
+            moved = registry.quarantine(status.name)
+            for path in moved:
+                print(f"quarantined {path}")
+    return 1 if bad else 0
+
+
+def _cmd_artifacts_gc(args: argparse.Namespace) -> int:
+    registry = _artifact_registry(args)
+    if args.dry_run:
+        from repro.core.registry import _lock_is_held
+
+        candidates = [
+            os.path.join(registry.root, fname)
+            for fname in sorted(os.listdir(registry.root))
+            if (fname.endswith(".tmp")
+                or (fname.endswith(".lock")
+                    and not _lock_is_held(os.path.join(registry.root, fname))))
+        ]
+        if os.path.isdir(registry.quarantine_root):
+            candidates += [
+                os.path.join(registry.quarantine_root, fname)
+                for fname in sorted(os.listdir(registry.quarantine_root))
+            ]
+        for path in candidates:
+            print(f"would remove {path}")
+        print(f"{len(candidates)} file(s) would be removed")
+        return 0
+    removed = registry.gc(remove_quarantine=not args.keep_quarantine)
+    for path in removed:
+        print(f"removed {path}")
+    print(f"{len(removed)} file(s) removed")
     return 0
 
 
@@ -145,6 +225,32 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("models", help="list cached models").set_defaults(
         func=_cmd_models)
+
+    artifacts = sub.add_parser(
+        "artifacts", help="inspect and maintain the checkpoint cache")
+    artifacts_sub = artifacts.add_subparsers(dest="artifacts_command",
+                                             required=True)
+    art_list = artifacts_sub.add_parser(
+        "list", help="per-entry integrity status and size")
+    art_list.add_argument("--dir", default=None,
+                          help="cache directory (default: REPRO_ARTIFACT_DIR "
+                               "or the repo's .artifacts/)")
+    art_list.set_defaults(func=_cmd_artifacts_list)
+
+    art_verify = artifacts_sub.add_parser(
+        "verify", help="verify every entry; exit 1 if any is corrupt")
+    art_verify.add_argument("--dir", default=None)
+    art_verify.add_argument("--quarantine", action="store_true",
+                            help="move corrupt entries to quarantine/")
+    art_verify.set_defaults(func=_cmd_artifacts_verify)
+
+    art_gc = artifacts_sub.add_parser(
+        "gc", help="remove temp/lock files and quarantined checkpoints")
+    art_gc.add_argument("--dir", default=None)
+    art_gc.add_argument("--dry-run", action="store_true")
+    art_gc.add_argument("--keep-quarantine", action="store_true",
+                        help="only remove temp/lock leftovers")
+    art_gc.set_defaults(func=_cmd_artifacts_gc)
     return parser
 
 

@@ -25,8 +25,17 @@ from repro.core.configurations import (
 )
 from repro.core.selector import ConfigurationSelector, SelectionDecision
 from repro.core.pipeline import ITaskPipeline, PipelineResult
-from repro.core.registry import ModelRegistry
-from repro.core.artifacts import ArtifactBuilder, default_artifact_dir
+from repro.core.registry import (
+    ArtifactStatus,
+    CorruptArtifactError,
+    ModelRegistry,
+)
+from repro.core.locks import FileLock, LockTimeout
+from repro.core.artifacts import (
+    ArtifactBuilder,
+    default_artifact_dir,
+    strict_mode_default,
+)
 
 __all__ = [
     "TaskSpec",
@@ -42,6 +51,11 @@ __all__ = [
     "ITaskPipeline",
     "PipelineResult",
     "ModelRegistry",
+    "ArtifactStatus",
+    "CorruptArtifactError",
+    "FileLock",
+    "LockTimeout",
     "ArtifactBuilder",
     "default_artifact_dir",
+    "strict_mode_default",
 ]

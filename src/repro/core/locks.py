@@ -1,0 +1,161 @@
+"""Advisory per-key file locks for the artifact cache.
+
+Two benchmark processes that both need the same uncached teacher must not
+train it twice (wasted minutes) or interleave writes to the same
+checkpoint files.  :class:`FileLock` serializes them: the first holder
+trains and publishes, the second blocks, re-validates, and loads the
+fresh checkpoint.
+
+The primary implementation uses ``fcntl.flock`` on a sidecar ``.lock``
+file — kernel-released when the holder exits, so a crashed trainer never
+wedges the cache.  On platforms without ``fcntl`` (or when
+``REPRO_ARTIFACT_LOCK_MODE=exclusive`` forces it, e.g. for filesystems
+with unreliable flock semantics) an ``O_CREAT | O_EXCL`` fallback is
+used, with mtime-based stale-lock breaking since nothing releases the
+file automatically on crash.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Optional
+
+try:  # pragma: no cover - platform dependent
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX
+    fcntl = None  # type: ignore[assignment]
+
+__all__ = ["FileLock", "LockTimeout"]
+
+
+class LockTimeout(TimeoutError):
+    """Raised when a lock cannot be acquired within the timeout."""
+
+
+def _flock_available() -> bool:
+    if os.environ.get("REPRO_ARTIFACT_LOCK_MODE", "").lower() == "exclusive":
+        return False
+    return fcntl is not None
+
+
+class FileLock:
+    """Exclusive advisory lock on ``path`` with timeout + stale breaking.
+
+    Usage::
+
+        with FileLock(registry.lock_path(key), timeout=600):
+            ...  # validate / train / save
+
+    Reentrant acquisition from the same :class:`FileLock` instance is an
+    error; use one instance per critical section.
+    """
+
+    def __init__(self, path: str, timeout: float = 600.0,
+                 poll_interval: float = 0.05,
+                 stale_after: float = 3600.0) -> None:
+        self.path = os.path.abspath(path)
+        self.timeout = timeout
+        self.poll_interval = poll_interval
+        self.stale_after = stale_after
+        self._fd: Optional[int] = None
+        self._use_flock = _flock_available()
+
+    # ------------------------------------------------------------------
+    @property
+    def held(self) -> bool:
+        return self._fd is not None
+
+    def acquire(self) -> "FileLock":
+        if self.held:
+            raise RuntimeError(f"lock {self.path!r} already held by this instance")
+        os.makedirs(os.path.dirname(self.path) or ".", exist_ok=True)
+        deadline = time.monotonic() + self.timeout
+        while True:
+            if self._try_acquire():
+                return self
+            if time.monotonic() >= deadline:
+                raise LockTimeout(
+                    f"could not acquire artifact lock {self.path!r} within "
+                    f"{self.timeout:.1f}s (another process may be training this "
+                    f"key; remove the lock file if it is stale)")
+            time.sleep(self.poll_interval)
+
+    def release(self) -> None:
+        if not self.held:
+            return
+        fd, self._fd = self._fd, None
+        try:
+            # Unlink before dropping the lock so a waiter that grabs the old
+            # inode immediately re-checks against the path (see _try_acquire).
+            os.unlink(self.path)
+        except OSError:
+            pass
+        if self._use_flock:
+            try:
+                fcntl.flock(fd, fcntl.LOCK_UN)
+            except OSError:
+                pass
+        os.close(fd)
+
+    def __enter__(self) -> "FileLock":
+        return self.acquire()
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()
+
+    # ------------------------------------------------------------------
+    def _try_acquire(self) -> bool:
+        if self._use_flock:
+            return self._try_flock()
+        return self._try_exclusive_create()
+
+    def _try_flock(self) -> bool:
+        fd = os.open(self.path, os.O_RDWR | os.O_CREAT, 0o644)
+        try:
+            fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+        except OSError:
+            os.close(fd)
+            return False
+        # The holder that released may have unlinked the path between our
+        # open() and flock(); if the inode we locked is no longer the one at
+        # the path, the lock protects nothing — retry on the fresh file.
+        try:
+            if os.fstat(fd).st_ino != os.stat(self.path).st_ino:
+                raise OSError
+        except OSError:
+            os.close(fd)
+            return False
+        self._stamp(fd)
+        self._fd = fd
+        return True
+
+    def _try_exclusive_create(self) -> bool:
+        try:
+            fd = os.open(self.path, os.O_RDWR | os.O_CREAT | os.O_EXCL, 0o644)
+        except FileExistsError:
+            self._break_if_stale()
+            return False
+        self._stamp(fd)
+        self._fd = fd
+        return True
+
+    def _break_if_stale(self) -> None:
+        """O_EXCL mode only: a crash leaves the file behind forever, so a
+        lock file older than ``stale_after`` is presumed dead and removed."""
+        try:
+            age = time.time() - os.stat(self.path).st_mtime
+        except OSError:
+            return  # already gone
+        if age > self.stale_after:
+            try:
+                os.unlink(self.path)
+            except OSError:
+                pass
+
+    def _stamp(self, fd: int) -> None:
+        try:
+            os.ftruncate(fd, 0)
+            os.write(fd, f"pid={os.getpid()} time={time.time():.0f}\n".encode())
+        except OSError:
+            pass

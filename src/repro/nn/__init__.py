@@ -20,7 +20,13 @@ from repro.nn.losses import (
     soft_target_loss,
     binary_cross_entropy_with_logits,
 )
-from repro.nn.serialization import save_state_dict, load_state_dict, state_dict_equal
+from repro.nn.serialization import (
+    file_sha256,
+    load_state_dict,
+    save_state_dict,
+    state_dict_equal,
+    state_dict_keys,
+)
 
 __all__ = [
     "Module",
@@ -49,4 +55,6 @@ __all__ = [
     "save_state_dict",
     "load_state_dict",
     "state_dict_equal",
+    "state_dict_keys",
+    "file_sha256",
 ]

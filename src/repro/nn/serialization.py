@@ -1,24 +1,101 @@
-"""Checkpoint (de)serialization for :class:`~repro.nn.Module` state dicts."""
+"""Checkpoint (de)serialization for :class:`~repro.nn.Module` state dicts.
+
+Writes are *atomic*: the archive is serialized to a temporary file in the
+destination directory, fsynced, and :func:`os.replace`-d into place, so a
+reader can never observe a half-written ``.npz`` and a crash mid-write
+leaves the previous checkpoint (if any) intact.  :func:`save_state_dict`
+returns the integrity descriptor (SHA-256, byte size, key set) that the
+model registry records next to the weights and re-verifies on load.
+"""
 
 from __future__ import annotations
 
+import hashlib
 import os
-from typing import Dict
+import tempfile
+from typing import Dict, List
 
 import numpy as np
 
 
-def save_state_dict(state: Dict[str, np.ndarray], path: str) -> None:
-    """Save a state dict as a compressed ``.npz`` archive."""
-    directory = os.path.dirname(os.path.abspath(path))
+def file_sha256(path: str, chunk_size: int = 1 << 20) -> str:
+    """Hex SHA-256 digest of a file's contents (streamed, constant memory)."""
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        while True:
+            chunk = handle.read(chunk_size)
+            if not chunk:
+                break
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+def atomic_write_bytes(data: bytes, path: str) -> None:
+    """Write ``data`` to ``path`` via a same-directory temp file + rename."""
+    directory = os.path.dirname(os.path.abspath(path)) or "."
     os.makedirs(directory, exist_ok=True)
-    np.savez_compressed(path, **state)
+    fd, tmp = tempfile.mkstemp(dir=directory,
+                               prefix=f".{os.path.basename(path)}.", suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def save_state_dict(state: Dict[str, np.ndarray], path: str) -> Dict[str, object]:
+    """Atomically save a state dict as a compressed ``.npz`` archive.
+
+    Returns an integrity descriptor for the written file::
+
+        {"sha256": <hex digest>, "bytes": <file size>, "keys": <sorted keys>}
+    """
+    path = os.path.abspath(path)
+    directory = os.path.dirname(path)
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=directory,
+                               prefix=f".{os.path.basename(path)}.", suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            np.savez_compressed(handle, **state)
+            handle.flush()
+            os.fsync(handle.fileno())
+        info = {
+            "sha256": file_sha256(tmp),
+            "bytes": os.path.getsize(tmp),
+            "keys": sorted(state),
+        }
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    return info
 
 
 def load_state_dict(path: str) -> Dict[str, np.ndarray]:
     """Load a state dict previously written by :func:`save_state_dict`."""
     with np.load(path, allow_pickle=False) as archive:
         return {key: archive[key].copy() for key in archive.files}
+
+
+def state_dict_keys(path: str) -> List[str]:
+    """Sorted key set of an ``.npz`` checkpoint without copying the arrays.
+
+    Raises whatever :func:`np.load` raises on a corrupt/truncated archive —
+    callers use that as the cheap structural-integrity probe.
+    """
+    with np.load(path, allow_pickle=False) as archive:
+        return sorted(archive.files)
 
 
 def state_dict_equal(a: Dict[str, np.ndarray], b: Dict[str, np.ndarray],

@@ -106,3 +106,65 @@ class TestCLI:
         monkeypatch.setenv("REPRO_ARTIFACT_DIR", str(tmp_path))
         assert main(["models"]) == 0
         assert "empty" in capsys.readouterr().out
+
+
+class TestArtifactsCLI:
+    @pytest.fixture()
+    def cache(self, tmp_path, monkeypatch, tiny_vit):
+        from repro.core import ModelRegistry
+
+        monkeypatch.setenv("REPRO_ARTIFACT_DIR", str(tmp_path))
+        registry = ModelRegistry(str(tmp_path))
+        registry.save("demo", tiny_vit, extra={"role": "test"})
+        return registry
+
+    def test_list_empty(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_ARTIFACT_DIR", str(tmp_path))
+        assert main(["artifacts", "list"]) == 0
+        assert "empty" in capsys.readouterr().out
+
+    def test_verify_clean_cache(self, capsys, cache):
+        assert main(["artifacts", "verify"]) == 0
+        out = capsys.readouterr().out
+        assert "demo" in out and "0 corrupt" in out
+
+    def test_verify_flags_truncated_weights(self, capsys, cache):
+        weights = cache._paths("demo")["weights"]
+        with open(weights, "r+b") as handle:
+            handle.truncate(100)
+        assert main(["artifacts", "verify"]) == 1
+        out = capsys.readouterr().out
+        assert "CORRUPT" in out and "1 corrupt" in out
+
+    def test_verify_quarantine_then_gc(self, capsys, cache):
+        import os
+
+        weights = cache._paths("demo")["weights"]
+        with open(weights, "wb") as handle:
+            handle.write(b"garbage")
+        assert main(["artifacts", "verify", "--quarantine"]) == 1
+        assert os.path.isdir(cache.quarantine_root)
+        assert os.listdir(cache.quarantine_root)
+        assert main(["artifacts", "gc"]) == 0
+        assert not os.path.isdir(cache.quarantine_root)
+        # cache is clean (and empty) again
+        assert main(["artifacts", "verify"]) == 0
+
+    def test_gc_dry_run_removes_nothing(self, capsys, cache):
+        import os
+
+        lock = os.path.join(cache.root, "stale.lock")
+        with open(lock, "w") as handle:
+            handle.write("pid=1\n")
+        assert main(["artifacts", "gc", "--dry-run"]) == 0
+        assert os.path.exists(lock)
+        assert "would remove" in capsys.readouterr().out
+        assert main(["artifacts", "gc"]) == 0
+        assert not os.path.exists(lock)
+
+    def test_models_survives_corrupt_meta(self, capsys, cache):
+        meta = cache._paths("demo")["meta"]
+        with open(meta, "w") as handle:
+            handle.write("{ nope")
+        assert main(["models"]) == 0
+        assert "unreadable meta" in capsys.readouterr().out

@@ -1,0 +1,391 @@
+"""Self-healing artifact cache: integrity checks, quarantine, locking.
+
+Training is monkeypatched to instant tiny-model construction so these
+tests exercise the full registry/builder protocol (validate -> load |
+quarantine -> rebuild -> atomic save) in milliseconds.
+"""
+
+import json
+import os
+import threading
+import time
+import types
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ArtifactBuilder,
+    CorruptArtifactError,
+    FileLock,
+    LockTimeout,
+    ModelRegistry,
+)
+from repro.nn import VisionTransformer, file_sha256
+from repro.obs import get_registry as obs_registry
+
+
+# ----------------------------------------------------------------------
+# fixtures
+# ----------------------------------------------------------------------
+@pytest.fixture()
+def fast_builder(tmp_path, monkeypatch, tiny_vit_config):
+    """ArtifactBuilder whose training builders return tiny models instantly,
+    with per-builder call counts on ``builder.calls``."""
+    calls = {"teacher": 0, "student": 0, "specialist": 0}
+
+    def make_model(seed):
+        model = VisionTransformer(tiny_vit_config,
+                                  rng=np.random.default_rng(seed))
+        model.eval()
+        return model
+
+    def fake_teacher(epochs=1, seed=0):
+        calls["teacher"] += 1
+        return make_model(seed)
+
+    def fake_student(teacher, epochs=1, seed=0):
+        calls["student"] += 1
+        return make_model(seed)
+
+    def fake_specialist(teacher, task, epochs=1, seed=0,
+                        num_positive=0, num_negative=0):
+        calls["specialist"] += 1
+        return types.SimpleNamespace(student=make_model(seed))
+
+    monkeypatch.setattr("repro.core.artifacts.build_teacher", fake_teacher)
+    monkeypatch.setattr("repro.core.artifacts.build_multitask_student",
+                        fake_student)
+    monkeypatch.setattr("repro.core.artifacts.distill_task_student",
+                        fake_specialist)
+    builder = ArtifactBuilder(root=str(tmp_path), seed=0, verbose=False)
+    builder.calls = calls
+    return builder
+
+
+def teacher_paths(builder):
+    return builder.registry._paths(builder._key("teacher"))
+
+
+def seed_teacher(builder):
+    """Populate the cache with a valid teacher entry; returns its paths."""
+    builder.teacher()
+    return teacher_paths(builder)
+
+
+# ----------------------------------------------------------------------
+# registry: exists / sanitization / metadata
+# ----------------------------------------------------------------------
+class TestRegistryValidation:
+    def test_exists_requires_weights_file(self, fast_builder):
+        """Regression: the seed shipped ``teacher.json`` without
+        ``teacher.npz`` and ``exists()`` said True, so ``load()`` crashed
+        with FileNotFoundError instead of the builder retraining."""
+        paths = seed_teacher(fast_builder)
+        registry = fast_builder.registry
+        key = fast_builder._key("teacher")
+        assert registry.exists(key)
+        os.unlink(paths["weights"])
+        assert not registry.exists(key)
+        status = registry.validate(key)
+        assert status.corrupt and not status.missing
+        assert any("meta without weights" in p for p in status.problems)
+
+    def test_exists_requires_meta_file(self, fast_builder):
+        paths = seed_teacher(fast_builder)
+        os.unlink(paths["meta"])
+        assert not fast_builder.registry.exists(fast_builder._key("teacher"))
+
+    def test_missing_is_not_corrupt(self, tmp_path):
+        status = ModelRegistry(str(tmp_path)).validate("ghost")
+        assert status.missing and not status.ok and not status.corrupt
+
+    def test_name_sanitization_is_injective(self, tmp_path, tiny_vit):
+        registry = ModelRegistry(str(tmp_path))
+        registry.save("a/b", tiny_vit)
+        registry.save("a_b", tiny_vit)
+        a = registry._paths("a/b")
+        b = registry._paths("a_b")
+        assert a["weights"] != b["weights"] and a["meta"] != b["meta"]
+        assert registry.names() == ["a/b", "a_b"]
+        assert registry.exists("a/b") and registry.exists("a_b")
+        registry.load("a/b")  # round-trips through the encoded filename
+
+    def test_metadata_missing_is_friendly(self, tmp_path):
+        with pytest.raises(FileNotFoundError, match="no registered model named"):
+            ModelRegistry(str(tmp_path)).metadata("ghost")
+
+    def test_save_records_matching_integrity(self, fast_builder):
+        paths = seed_teacher(fast_builder)
+        with open(paths["meta"]) as handle:
+            integrity = json.load(handle)["integrity"]
+        assert integrity["weights_sha256"] == file_sha256(paths["weights"])
+        assert integrity["weights_bytes"] == os.path.getsize(paths["weights"])
+        assert integrity["state_keys"]
+        # atomic writes leave no temp droppings behind
+        leftovers = [f for f in os.listdir(fast_builder.registry.root)
+                     if f.endswith(".tmp")]
+        assert leftovers == []
+
+    def test_save_overwrites_existing_entry(self, fast_builder, tiny_vit):
+        paths = seed_teacher(fast_builder)
+        key = fast_builder._key("teacher")
+        fast_builder.registry.save(key, tiny_vit)
+        assert fast_builder.registry.exists(key)
+        with open(paths["meta"]) as handle:
+            meta = json.load(handle)
+        assert meta["integrity"]["weights_sha256"] == \
+            file_sha256(paths["weights"])
+
+    def test_legacy_meta_without_integrity_still_loads(self, fast_builder):
+        """Pre-PR metas carry no integrity block; they must stay loadable."""
+        paths = seed_teacher(fast_builder)
+        with open(paths["meta"]) as handle:
+            meta = json.load(handle)
+        del meta["integrity"]
+        with open(paths["meta"], "w") as handle:
+            json.dump(meta, handle)
+        key = fast_builder._key("teacher")
+        assert fast_builder.registry.exists(key)
+        fast_builder.registry.load(key)
+
+
+# ----------------------------------------------------------------------
+# corruption injection -> quarantine + rebuild (or strict error)
+# ----------------------------------------------------------------------
+def _corrupt_orphan_meta(paths):
+    os.unlink(paths["weights"])
+
+
+def _corrupt_truncate(paths):
+    with open(paths["weights"], "rb") as handle:
+        blob = handle.read()
+    with open(paths["weights"], "wb") as handle:
+        handle.write(blob[: len(blob) // 2])
+
+
+def _corrupt_truncate_legacy(paths):
+    """Truncation with no integrity block: only np.load itself can object."""
+    _corrupt_truncate(paths)
+    with open(paths["meta"]) as handle:
+        meta = json.load(handle)
+    meta.pop("integrity", None)
+    with open(paths["meta"], "w") as handle:
+        json.dump(meta, handle)
+
+
+def _corrupt_meta_json(paths):
+    with open(paths["meta"], "w") as handle:
+        handle.write("{ this is not json")
+
+
+def _corrupt_checksum(paths):
+    with open(paths["meta"]) as handle:
+        meta = json.load(handle)
+    meta["integrity"]["weights_sha256"] = "0" * 64
+    with open(paths["meta"], "w") as handle:
+        json.dump(meta, handle)
+
+
+def _corrupt_key_set(paths):
+    np.savez_compressed(paths["weights"], wrong_key=np.zeros(3, np.float32))
+    # keep declared size/checksum consistent so the key-set check is what fires
+    with open(paths["meta"]) as handle:
+        meta = json.load(handle)
+    meta["integrity"]["weights_bytes"] = os.path.getsize(paths["weights"])
+    meta["integrity"]["weights_sha256"] = file_sha256(paths["weights"])
+    with open(paths["meta"], "w") as handle:
+        json.dump(meta, handle)
+
+
+CORRUPTIONS = {
+    "orphan_meta": _corrupt_orphan_meta,
+    "truncated_npz": _corrupt_truncate,
+    "truncated_npz_legacy_meta": _corrupt_truncate_legacy,
+    "malformed_meta_json": _corrupt_meta_json,
+    "checksum_mismatch": _corrupt_checksum,
+    "key_set_mismatch": _corrupt_key_set,
+}
+
+
+class TestCorruptionRecovery:
+    @pytest.mark.parametrize("kind", sorted(CORRUPTIONS))
+    def test_quarantine_and_rebuild(self, fast_builder, kind):
+        paths = seed_teacher(fast_builder)
+        assert fast_builder.calls["teacher"] == 1
+        CORRUPTIONS[kind](paths)
+        key = fast_builder._key("teacher")
+        assert not fast_builder.registry.exists(key)
+
+        model = fast_builder.teacher()  # heals instead of raising
+        assert fast_builder.calls["teacher"] == 2
+        assert model is not None
+        assert fast_builder.registry.exists(key)
+        quarantined = os.listdir(fast_builder.registry.quarantine_root)
+        assert quarantined, "damaged files should be preserved for post-mortem"
+        # healed cache is a plain hit afterwards
+        fast_builder.teacher()
+        assert fast_builder.calls["teacher"] == 2
+
+    @pytest.mark.parametrize("kind", sorted(CORRUPTIONS))
+    def test_strict_mode_raises_with_path(self, fast_builder, monkeypatch,
+                                          kind):
+        paths = seed_teacher(fast_builder)
+        CORRUPTIONS[kind](paths)
+        monkeypatch.setenv("REPRO_ARTIFACT_STRICT", "1")
+        with pytest.raises(CorruptArtifactError) as excinfo:
+            fast_builder.teacher()
+        message = str(excinfo.value)
+        assert fast_builder._key("teacher") in message
+        assert str(fast_builder.registry.root) in message
+        assert fast_builder.calls["teacher"] == 1  # no silent retrain
+        # corrupt entry stays in place for inspection in strict mode
+        quarantine = fast_builder.registry.quarantine_root
+        assert not os.path.isdir(quarantine) or not os.listdir(quarantine)
+
+    def test_strict_mode_still_trains_on_clean_miss(self, fast_builder,
+                                                    monkeypatch):
+        monkeypatch.setenv("REPRO_ARTIFACT_STRICT", "1")
+        fast_builder.teacher()
+        assert fast_builder.calls["teacher"] == 1
+
+    def test_deep_load_failure_also_heals(self, fast_builder, tmp_path,
+                                          tiny_vit_config):
+        """Validate can pass while the model itself rejects the state dict
+        (consistent integrity block over wrong-shaped arrays)."""
+        paths = seed_teacher(fast_builder)
+        state = {key: np.zeros(2, np.float32)
+                 for key in sorted(VisionTransformer(
+                     tiny_vit_config,
+                     rng=np.random.default_rng(0)).state_dict())}
+        np.savez_compressed(paths["weights"], **state)
+        with open(paths["meta"]) as handle:
+            meta = json.load(handle)
+        meta["integrity"]["weights_bytes"] = os.path.getsize(paths["weights"])
+        meta["integrity"]["weights_sha256"] = file_sha256(paths["weights"])
+        meta["integrity"]["state_keys"] = sorted(state)
+        with open(paths["meta"], "w") as handle:
+            json.dump(meta, handle)
+        model = fast_builder.teacher()
+        assert model is not None
+        assert fast_builder.calls["teacher"] == 2
+
+    def test_specialist_and_student_rebuild(self, fast_builder):
+        config = fast_builder.task_student_by_name("cargo_audit")
+        assert config.task_name == "cargo_audit"
+        assert fast_builder.calls["specialist"] == 1
+        student = fast_builder.multitask_student()
+        assert student is not None
+        assert fast_builder.calls["student"] == 1
+        # all cached now: no further training
+        fast_builder.task_student_by_name("cargo_audit")
+        fast_builder.multitask_student()
+        assert fast_builder.calls == {"teacher": 1, "student": 1,
+                                      "specialist": 1}
+
+
+# ----------------------------------------------------------------------
+# observability
+# ----------------------------------------------------------------------
+class TestCacheCounters:
+    def test_hit_miss_corrupt_rebuild_counters(self, fast_builder):
+        obs = obs_registry()
+        obs.reset()
+        fast_builder.teacher()          # miss -> rebuild
+        fast_builder.teacher()          # hit
+        paths = teacher_paths(fast_builder)
+        _corrupt_truncate(paths)
+        fast_builder.teacher()          # corrupt -> quarantine -> rebuild
+        counters = obs.snapshot()["counters"]
+        assert counters["artifacts.cache.miss"] == 1
+        assert counters["artifacts.cache.hit"] == 1
+        assert counters["artifacts.cache.corrupt"] == 1
+        assert counters["artifacts.cache.quarantined"] == 1
+        assert counters["artifacts.cache.rebuild"] == 2
+        assert "artifacts.cache.hit" in obs.report()
+
+    def test_counters_materialized_even_on_pure_hits(self, fast_builder):
+        fast_builder.teacher()
+        obs = obs_registry()
+        obs.reset()
+        fast_builder.teacher()  # pure hit after reset
+        counters = obs.snapshot()["counters"]
+        for name in ("hit", "miss", "corrupt", "quarantined", "rebuild"):
+            assert f"artifacts.cache.{name}" in counters
+        assert counters["artifacts.cache.hit"] == 1
+        assert counters["artifacts.cache.rebuild"] == 0
+
+
+# ----------------------------------------------------------------------
+# concurrency
+# ----------------------------------------------------------------------
+class TestConcurrency:
+    def test_concurrent_writers_train_exactly_once(self, fast_builder,
+                                                   monkeypatch):
+        """Two+ workers racing on the same key: one trains, the rest block
+        on the per-key lock and then load the published checkpoint."""
+        original = fast_builder.calls
+        barrier = threading.Barrier(4)
+        results, errors = [], []
+
+        import repro.core.artifacts as artifacts_mod
+        slow_inner = artifacts_mod.build_teacher
+
+        def slow_teacher(epochs=1, seed=0):
+            time.sleep(0.15)  # widen the race window
+            return slow_inner(epochs=epochs, seed=seed)
+
+        monkeypatch.setattr(artifacts_mod, "build_teacher", slow_teacher)
+
+        def worker():
+            try:
+                barrier.wait(timeout=5)
+                results.append(fast_builder.teacher())
+            except Exception as exc:  # pragma: no cover - failure reporting
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert not errors
+        assert len(results) == 4
+        assert original["teacher"] == 1, "exactly one training run"
+        state = results[0].state_dict()
+        for other in results[1:]:
+            for key, value in other.state_dict().items():
+                np.testing.assert_array_equal(value, state[key])
+
+    def test_lock_timeout(self, tmp_path):
+        path = str(tmp_path / "key.lock")
+        with FileLock(path, timeout=1.0):
+            with pytest.raises(LockTimeout):
+                FileLock(path, timeout=0.2, poll_interval=0.02).acquire()
+        # released: immediate acquisition succeeds
+        FileLock(path, timeout=0.2).acquire().release()
+
+    def test_gc_skips_actively_held_lock(self, tmp_path):
+        registry = ModelRegistry(str(tmp_path))
+        lock_path = registry.lock_path("busy-key")
+        with FileLock(lock_path, timeout=1.0):
+            removed = registry.gc()
+            assert lock_path not in removed
+            assert os.path.exists(lock_path)
+        # released locks are ordinary stale files and do get collected
+        stale = os.path.join(registry.root, "stale.lock")
+        with open(stale, "w") as handle:
+            handle.write("pid=0\n")
+        assert stale in registry.gc()
+
+    def test_exclusive_mode_breaks_stale_lock(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_ARTIFACT_LOCK_MODE", "exclusive")
+        path = tmp_path / "key.lock"
+        path.write_text("pid=999999 time=0\n")
+        old = time.time() - 3600
+        os.utime(path, (old, old))
+        lock = FileLock(str(path), timeout=2.0, poll_interval=0.02,
+                        stale_after=60.0)
+        lock.acquire()  # stale holder is broken instead of timing out
+        lock.release()
+        assert not path.exists()
