@@ -19,6 +19,7 @@ from benchmarks.common import (
     DECISION_THRESHOLD,
     eval_scenes,
     eval_windows,
+    finalize_benchmark,
     print_table,
     quantized_configuration,
     specialist,
@@ -79,8 +80,9 @@ def test_e1_config_accuracy(benchmark):
 
 
 def main():
-    print_table("E1: configuration accuracy on specific scenarios",
-                run_experiment())
+    rows = run_experiment()
+    print_table("E1: configuration accuracy on specific scenarios", rows)
+    finalize_benchmark("e1_config_accuracy", rows)
 
 
 if __name__ == "__main__":

@@ -18,6 +18,7 @@ sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
 from benchmarks.common import (
     DECISION_THRESHOLD,
     eval_windows,
+    finalize_benchmark,
     print_table,
     quantized_configuration,
     specialist,
@@ -70,6 +71,7 @@ def main():
     rows = run_experiment()
     print_table("E2: multi-task robustness (per-task)", rows)
     print_table("E2: summary", rows, columns=["config", "mean", "worst"])
+    finalize_benchmark("e2_multitask", rows)
 
 
 if __name__ == "__main__":

@@ -20,6 +20,7 @@ import numpy as np
 
 from benchmarks.common import (
     artifact_cache_counters,
+    finalize_benchmark,
     print_table,
     quantized_configuration,
 )
@@ -101,9 +102,11 @@ def test_e3_accelerator_inference_kernel(benchmark):
 
 def main():
     get_registry().reset()
-    print_table("E3: accelerator vs GPU latency (batch 1)", run_experiment())
+    rows = run_experiment()
+    print_table("E3: accelerator vs GPU latency (batch 1)", rows)
     print(get_registry().report("E3 simulator stages"))
     print(f"artifact cache: {artifact_cache_counters()}")
+    finalize_benchmark("e3_speedup", rows)
 
 
 if __name__ == "__main__":

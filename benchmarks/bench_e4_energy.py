@@ -21,7 +21,7 @@ import sys
 
 sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
 
-from benchmarks.common import print_table, quantized_configuration
+from benchmarks.common import finalize_benchmark, print_table, quantized_configuration
 from repro.hw import (
     AcceleratorConfig,
     Compiler,
@@ -90,6 +90,8 @@ def main():
     print_table("E4: core energy per inference", core_rows)
     print_table("E4: accelerator energy breakdown", breakdown_rows)
     print_table("E4: streaming platform energy", stream_rows)
+    finalize_benchmark("e4_energy", core_rows,
+                       breakdown=breakdown_rows, streaming=stream_rows)
 
 
 if __name__ == "__main__":

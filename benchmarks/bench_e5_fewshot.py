@@ -27,6 +27,7 @@ import numpy as np
 from benchmarks.common import (
     DECISION_THRESHOLD,
     eval_windows,
+    finalize_benchmark,
     print_table,
     quantized_configuration,
 )
@@ -119,8 +120,9 @@ def test_e5_fewshot(benchmark):
 
 
 def main():
-    print_table("E5: few-shot generalization (accuracy vs shots)",
-                run_experiment())
+    rows = run_experiment()
+    print_table("E5: few-shot generalization (accuracy vs shots)", rows)
+    finalize_benchmark("e5_fewshot", rows)
 
 
 if __name__ == "__main__":

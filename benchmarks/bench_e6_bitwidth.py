@@ -17,6 +17,7 @@ import numpy as np
 from benchmarks.common import (
     DECISION_THRESHOLD,
     eval_windows,
+    finalize_benchmark,
     multitask_student,
     print_table,
     task_matcher,
@@ -141,10 +142,14 @@ def test_e6_observers(benchmark):
 
 
 def main():
-    print_table("E6: accuracy vs weight bit-width", run_experiment())
-    print_table("E6b: activation observer comparison (w8a8)",
-                run_observer_comparison())
-    print_table("E6c: PTQ vs QAT at low bit widths", run_qat_vs_ptq())
+    rows = run_experiment()
+    observer_rows = run_observer_comparison()
+    qat_rows = run_qat_vs_ptq()
+    print_table("E6: accuracy vs weight bit-width", rows)
+    print_table("E6b: activation observer comparison (w8a8)", observer_rows)
+    print_table("E6c: PTQ vs QAT at low bit widths", qat_rows)
+    finalize_benchmark("e6_bitwidth", rows,
+                       observers=observer_rows, qat_vs_ptq=qat_rows)
 
 
 if __name__ == "__main__":

@@ -17,7 +17,7 @@ import sys
 
 sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
 
-from benchmarks.common import print_table, quantized_configuration
+from benchmarks.common import finalize_benchmark, print_table, quantized_configuration
 from repro.hw import AcceleratorConfig, Compiler, Simulator, estimate_area
 
 REALTIME_BUDGET_MS = 1000.0 / 30.0  # one 30 fps frame
@@ -101,9 +101,14 @@ def test_e7_scene_scaling(benchmark):
 
 
 def main():
-    print_table("E7a: batch scaling", run_batch_sweep())
-    print_table("E7b: array-size sweep", run_array_sweep())
-    print_table("E7c: scene-size scaling", run_scene_sweep())
+    batch_rows = run_batch_sweep()
+    array_rows = run_array_sweep()
+    scene_rows = run_scene_sweep()
+    print_table("E7a: batch scaling", batch_rows)
+    print_table("E7b: array-size sweep", array_rows)
+    print_table("E7c: scene-size scaling", scene_rows)
+    finalize_benchmark("e7_scaling", batch_rows,
+                       array_sweep=array_rows, scene_sweep=scene_rows)
 
 
 if __name__ == "__main__":

@@ -24,6 +24,7 @@ import numpy as np
 from benchmarks.common import (
     DECISION_THRESHOLD,
     eval_windows,
+    finalize_benchmark,
     print_table,
     quantized_configuration,
     task_matcher,
@@ -176,9 +177,14 @@ def test_e8_distillation_recipe(benchmark):
 
 
 def main():
-    print_table("E8a: knowledge-graph guidance ablation", run_kg_ablation())
-    print_table("E8b: LLM extraction-noise robustness", run_noise_sweep())
-    print_table("E8c: distillation recipe ablation", run_distillation_recipe())
+    kg_rows = run_kg_ablation()
+    noise_rows = run_noise_sweep()
+    recipe_rows = run_distillation_recipe()
+    print_table("E8a: knowledge-graph guidance ablation", kg_rows)
+    print_table("E8b: LLM extraction-noise robustness", noise_rows)
+    print_table("E8c: distillation recipe ablation", recipe_rows)
+    finalize_benchmark("e8_ablations", kg_rows,
+                       noise_sweep=noise_rows, distillation_recipe=recipe_rows)
 
 
 if __name__ == "__main__":

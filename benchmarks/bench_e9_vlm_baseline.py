@@ -25,6 +25,7 @@ import numpy as np
 from benchmarks.common import (
     DECISION_THRESHOLD,
     eval_windows,
+    finalize_benchmark,
     print_table,
     quantized_configuration,
     task_matcher,
@@ -144,8 +145,10 @@ def test_e9_vlm_baseline(benchmark):
 
 def main():
     rows, vlm = run_accuracy()
+    cost_rows = run_cost(vlm)
     print_table("E9: iTask vs VLM baseline (task accuracy)", rows)
-    print_table("E9b: per-query compute", run_cost(vlm))
+    print_table("E9b: per-query compute", cost_rows)
+    finalize_benchmark("e9_vlm_baseline", rows, cost=cost_rows)
 
 
 if __name__ == "__main__":

@@ -13,11 +13,20 @@ Each benchmark module exposes
   ``pytest benchmarks/ --benchmark-only`` both regenerates the tables
   (printed to stdout) and times the hot paths;
 * a ``main()`` so ``python benchmarks/bench_eN_*.py`` works standalone.
+
+Standalone runs end with :func:`finalize_benchmark`, which writes the
+run's telemetry — run manifest (git sha, seed, platform), per-stage span
+stats with p50/p90/p99, counters, and the experiment rows — to
+``BENCH_<name>.json`` next to the repository root (override the
+directory with ``REPRO_BENCH_DIR``).  Those files are the durable perf
+trajectory: ``repro obs report/trace/compare`` consume them, and CI
+gates hot-path regressions with ``repro obs compare``.
 """
 
 from __future__ import annotations
 
 import functools
+import os
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
@@ -28,6 +37,8 @@ from repro.kg import GraphMatcher, SimulatedLLM
 
 EVAL_SEED = 10_000
 DECISION_THRESHOLD = 0.35
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
 
 @functools.lru_cache(maxsize=1)
@@ -127,3 +138,41 @@ def _fmt(value) -> str:
 def geometric_mean(values: Sequence[float]) -> float:
     arr = np.asarray(list(values), dtype=np.float64)
     return float(np.exp(np.log(np.clip(arr, 1e-12, None)).mean()))
+
+
+# ----------------------------------------------------------------------
+# telemetry
+# ----------------------------------------------------------------------
+def bench_output_dir() -> str:
+    """Where ``BENCH_*.json`` files land (``REPRO_BENCH_DIR`` overrides)."""
+    return os.environ.get("REPRO_BENCH_DIR", _REPO_ROOT)
+
+
+def finalize_benchmark(
+    name: str,
+    rows: Optional[Sequence[Dict]] = None,
+    seed: Optional[int] = EVAL_SEED,
+    out: Optional[str] = None,
+    **tables: Sequence[Dict],
+) -> str:
+    """Persist one standalone benchmark run as ``BENCH_<name>.json``.
+
+    ``rows`` is the experiment's primary table; extra keyword tables are
+    stored under their argument name.  The document also captures the
+    global obs registry (span tree, p50/p90/p99 per stage, counters —
+    including the ``artifacts.*`` cache traffic) and a run manifest, so
+    every E-row in EXPERIMENTS.md can cite its provenance.
+    """
+    from repro.obs import build_telemetry, get_registry, write_telemetry
+
+    doc = build_telemetry(
+        name,
+        registry=get_registry(),
+        rows=rows,
+        tables=tables or None,
+        seed=seed,
+    )
+    path = out or os.path.join(bench_output_dir(), f"BENCH_{name}.json")
+    write_telemetry(path, doc)
+    print(f"[telemetry] wrote {path}")
+    return path

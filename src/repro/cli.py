@@ -19,6 +19,12 @@ Commands
     inspect and maintain the checkpoint cache: per-entry integrity
     status, a full verification sweep (non-zero exit on corruption, for
     CI), and garbage collection of quarantined/temp/lock files.
+``obs {report,export,trace,compare}``
+    the telemetry family: render a ``BENCH_*.json`` (manifest + per-stage
+    p50/p90/p99 + counters), run an instrumented detection workload and
+    persist its telemetry, convert a telemetry file's spans to Chrome
+    trace-event JSON for Perfetto, and gate one run against a baseline
+    (non-zero exit on hot-path regression, for CI).
 """
 
 from __future__ import annotations
@@ -192,6 +198,134 @@ def _cmd_artifacts_gc(args: argparse.Namespace) -> int:
     return 0
 
 
+# ----------------------------------------------------------------------
+# obs: telemetry report / export / trace / compare
+# ----------------------------------------------------------------------
+def _parse_fraction(text: str) -> float:
+    """Accept ``15%``, ``15``, or ``0.15`` — all meaning fifteen percent."""
+    value = text.strip()
+    if value.endswith("%"):
+        return float(value[:-1]) / 100.0
+    number = float(value)
+    return number / 100.0 if number > 1.0 else number
+
+
+def _cmd_obs_report(args: argparse.Namespace) -> int:
+    from repro.obs import load_telemetry
+
+    doc = load_telemetry(args.file)
+    manifest = doc.get("manifest", {})
+    print(f"bench    : {doc.get('bench')}")
+    print(f"recorded : {manifest.get('timestamp_utc')} on "
+          f"{manifest.get('hostname')} ({manifest.get('platform')})")
+    sha = manifest.get("git_sha") or "?"
+    dirty = " (dirty)" if manifest.get("git_dirty") else ""
+    print(f"commit   : {sha[:12]}{dirty}  branch={manifest.get('git_branch')}  "
+          f"seed={manifest.get('seed')}")
+    timers = doc.get("obs", {}).get("timers", {})
+    if timers:
+        width = max(len(name) for name in timers)
+        print(f"\n{'stage'.ljust(width)} | {'calls':>6} | {'total ms':>10} | "
+              f"{'p50 ms':>9} | {'p90 ms':>9} | {'p99 ms':>9} | {'max ms':>9}")
+        for name, stats in sorted(timers.items(),
+                                  key=lambda kv: -kv[1].get("total_s", 0.0)):
+            print(f"{name.ljust(width)} | {stats.get('calls', 0):>6} | "
+                  f"{stats.get('total_s', 0.0) * 1e3:>10.3f} | "
+                  f"{stats.get('p50_s', 0.0) * 1e3:>9.3f} | "
+                  f"{stats.get('p90_s', 0.0) * 1e3:>9.3f} | "
+                  f"{stats.get('p99_s', 0.0) * 1e3:>9.3f} | "
+                  f"{stats.get('max_s', 0.0) * 1e3:>9.3f}")
+    counters = doc.get("obs", {}).get("counters", {})
+    if counters:
+        print("\n-- counters --")
+        width = max(len(name) for name in counters)
+        for name, value in sorted(counters.items()):
+            print(f"{name.ljust(width)} | {value}")
+    spans = doc.get("obs", {}).get("spans", [])
+    rows = doc.get("rows", [])
+    tables = doc.get("tables", {}) or {}
+    print(f"\n{len(spans)} span(s), {len(rows)} result row(s), "
+          f"{len(tables)} extra table(s)")
+    return 0
+
+
+def _cmd_obs_export(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.data import (
+        SceneConfig,
+        SceneGenerator,
+        attribute_head_spec,
+        get_task,
+    )
+    from repro.data.datasets import num_classes
+    from repro.detect import TaskDetector
+    from repro.kg import GraphMatcher, SimulatedLLM
+    from repro.nn import VisionTransformer, ViTConfig
+    from repro.obs import build_telemetry, get_registry, write_telemetry
+
+    config = ViTConfig.student(num_classes(), attribute_head_spec())
+    model = VisionTransformer(config, rng=np.random.default_rng(0))
+    kg = SimulatedLLM().generate_for_task(get_task(args.task))
+    detector = TaskDetector(model, matcher=GraphMatcher(kg),
+                            score_threshold=0.0)
+    scene = SceneGenerator(SceneConfig(grid=args.grid),
+                           seed=args.scene_seed).generate()
+    registry = get_registry()
+    registry.reset()
+    detections = 0
+    for _ in range(args.repeats):
+        detections = len(detector.detect(scene))
+    total = registry.timer("detect.total")
+    rows = [{
+        "task": args.task,
+        "grid": args.grid,
+        "repeats": args.repeats,
+        "detections": detections,
+        "p50_ms": total.p50_s * 1e3,
+        "p99_ms": total.p99_s * 1e3,
+    }]
+    doc = build_telemetry("obs_export", registry=registry, rows=rows,
+                          seed=args.scene_seed)
+    path = write_telemetry(args.out, doc)
+    print(registry.report(f"obs export ({args.task}, {args.grid}x{args.grid})"))
+    print(f"telemetry written to {path}")
+    return 0
+
+
+def _cmd_obs_trace(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs import chrome_trace, load_telemetry
+
+    doc = load_telemetry(args.file)
+    spans = doc.get("obs", {}).get("spans", [])
+    if not spans:
+        print(f"{args.file}: no spans recorded — nothing to trace",
+              file=sys.stderr)
+        return 1
+    trace = chrome_trace(spans, process_name=doc.get("bench") or "repro")
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(trace, fh, indent=2, allow_nan=False)
+    print(f"{len(spans)} span(s) -> {args.out} "
+          "(open in https://ui.perfetto.dev or chrome://tracing)")
+    return 0
+
+
+def _cmd_obs_compare(args: argparse.Namespace) -> int:
+    from repro.obs import compare_telemetry, load_telemetry
+
+    comparison = compare_telemetry(
+        load_telemetry(args.baseline),
+        load_telemetry(args.current),
+        max_regress=_parse_fraction(args.max_regress),
+        metric=args.metric,
+        stages=args.stages.split(",") if args.stages else None,
+    )
+    print(comparison.summary())
+    return 0 if comparison.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -251,6 +385,49 @@ def build_parser() -> argparse.ArgumentParser:
     art_gc.add_argument("--keep-quarantine", action="store_true",
                         help="only remove temp/lock leftovers")
     art_gc.set_defaults(func=_cmd_artifacts_gc)
+
+    obs = sub.add_parser(
+        "obs", help="benchmark telemetry: report, export, trace, compare")
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+
+    obs_report = obs_sub.add_parser(
+        "report", help="render a BENCH_*.json telemetry file")
+    obs_report.add_argument("file", help="telemetry JSON path")
+    obs_report.set_defaults(func=_cmd_obs_report)
+
+    obs_export = obs_sub.add_parser(
+        "export",
+        help="run an instrumented detection workload and persist telemetry")
+    obs_export.add_argument("--task", default="roadside_hazards")
+    obs_export.add_argument("--grid", type=int, default=8,
+                            help="scene grid (cells per side)")
+    obs_export.add_argument("--repeats", type=int, default=3)
+    obs_export.add_argument("--scene-seed", type=int, default=7)
+    obs_export.add_argument("--out", default="BENCH_obs_export.json")
+    obs_export.set_defaults(func=_cmd_obs_export)
+
+    obs_trace = obs_sub.add_parser(
+        "trace",
+        help="convert a telemetry file's spans to Chrome trace-event JSON")
+    obs_trace.add_argument("file", help="telemetry JSON path")
+    obs_trace.add_argument("--out", default="trace.json")
+    obs_trace.set_defaults(func=_cmd_obs_trace)
+
+    obs_compare = obs_sub.add_parser(
+        "compare",
+        help="gate a telemetry file against a baseline; exit 1 on regression")
+    obs_compare.add_argument("baseline")
+    obs_compare.add_argument("current")
+    obs_compare.add_argument("--max-regress", default="15%",
+                             help="allowed growth per stage (e.g. 15%%)")
+    obs_compare.add_argument(
+        "--metric", default="p50_s",
+        choices=["p50_s", "mean_s", "total_s", "max_s", "share"],
+        help="share = fraction of the dominant stage's total "
+             "(machine-speed independent)")
+    obs_compare.add_argument("--stages", default=None,
+                             help="comma-separated stage allowlist")
+    obs_compare.set_defaults(func=_cmd_obs_compare)
     return parser
 
 

@@ -213,8 +213,11 @@ class TaskDetector:
 
     def detect(self, scene: Scene, stride: Optional[int] = None) -> List[Detection]:
         obs = get_registry()
-        with obs.time("detect.total"):
+        task_name = self.matcher.kg.task_name if self.matcher is not None else None
+        with obs.span("detect.total", task=task_name, grid=scene.grid,
+                      vectorized=self.vectorized) as span:
             windows, boxes = self._windows(scene, stride=stride)
+            span.set_attr(windows=len(boxes))
             predictions = predict_windows(self.model, windows,
                                           batch_size=self.batch_size)
             class_probs = predictions["class_probs"]
@@ -247,10 +250,12 @@ class TaskDetector:
                 for i in np.flatnonzero(combined >= self.score_threshold)
             ]
             if not candidates:
+                span.set_attr(detections=0)
                 return []
             nms_fn = nms if self.vectorized else nms_reference
-            with obs.time("detect.nms"):
+            with obs.span("detect.nms", candidates=len(candidates)):
                 keep = nms_fn([d.bbox for d in candidates],
                               [d.score for d in candidates],
                               iou_threshold=self.nms_iou)
+            span.set_attr(detections=len(keep))
             return [candidates[i] for i in keep]

@@ -27,6 +27,7 @@ import numpy as np
 from repro.data.datasets import WindowDataset, batch_iterator
 from repro.nn import Linear, VisionTransformer, cross_entropy, kl_divergence, mse_loss
 from repro.nn.losses import accuracy
+from repro.obs import traced
 from repro.optim import AdamW, WarmupCosineSchedule, clip_grad_norm
 from repro.tensor import Tensor, no_grad
 
@@ -120,6 +121,7 @@ class Distiller:
         return total * (self.config.attention_weight / len(self._layer_map()))
 
     # ------------------------------------------------------------------
+    @traced("distill.fit")
     def distill(self, dataset: WindowDataset,
                 val_dataset: Optional[WindowDataset] = None) -> List[Dict[str, float]]:
         cfg = self.config

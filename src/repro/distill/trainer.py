@@ -16,6 +16,7 @@ import numpy as np
 from repro.data.datasets import WindowDataset, batch_iterator
 from repro.nn import VisionTransformer, cross_entropy
 from repro.nn.losses import accuracy
+from repro.obs import get_registry
 from repro.optim import AdamW, WarmupCosineSchedule, clip_grad_norm
 from repro.tensor import Tensor, no_grad
 
@@ -76,37 +77,43 @@ class ModelTrainer:
         )
         step = 0
         self.model.train()
-        for epoch in range(cfg.epochs):
-            epoch_loss, epoch_acc, batches = 0.0, 0.0, 0
-            for batch in batch_iterator(dataset, cfg.batch_size,
-                                        seed=cfg.seed + epoch):
-                schedule.apply(optimizer, step)
-                out = self.model(Tensor(batch.images))
-                loss = cross_entropy(out["class_logits"], batch.class_labels,
-                                     label_smoothing=cfg.label_smoothing)
-                attr_loss = _masked_attribute_loss(
-                    out, batch, cfg.attribute_loss_weight)
-                if attr_loss is not None:
-                    loss = loss + attr_loss
-                self.model.zero_grad()
-                loss.backward()
-                if cfg.grad_clip > 0:
-                    clip_grad_norm(self.model.parameters(), cfg.grad_clip)
-                optimizer.step()
-                epoch_loss += loss.item()
-                epoch_acc += accuracy(out["class_logits"], batch.class_labels)
-                batches += 1
-                step += 1
-            record = {
-                "epoch": epoch,
-                "loss": epoch_loss / batches,
-                "train_accuracy": epoch_acc / batches,
-            }
-            if val_dataset is not None:
-                record.update(evaluate_model(self.model, val_dataset))
-            self.history.append(record)
-            if cfg.log_every and (epoch % cfg.log_every == 0):
-                print(f"[trainer] epoch {epoch}: {record}")
+        obs = get_registry()
+        with obs.span("train.fit", epochs=cfg.epochs, examples=len(dataset),
+                      batch_size=cfg.batch_size):
+            for epoch in range(cfg.epochs):
+                epoch_loss, epoch_acc, batches = 0.0, 0.0, 0
+                with obs.span("train.epoch", epoch=epoch) as epoch_span:
+                    for batch in batch_iterator(dataset, cfg.batch_size,
+                                                seed=cfg.seed + epoch):
+                        schedule.apply(optimizer, step)
+                        out = self.model(Tensor(batch.images))
+                        loss = cross_entropy(out["class_logits"], batch.class_labels,
+                                             label_smoothing=cfg.label_smoothing)
+                        attr_loss = _masked_attribute_loss(
+                            out, batch, cfg.attribute_loss_weight)
+                        if attr_loss is not None:
+                            loss = loss + attr_loss
+                        self.model.zero_grad()
+                        loss.backward()
+                        if cfg.grad_clip > 0:
+                            clip_grad_norm(self.model.parameters(), cfg.grad_clip)
+                        optimizer.step()
+                        epoch_loss += loss.item()
+                        epoch_acc += accuracy(out["class_logits"], batch.class_labels)
+                        batches += 1
+                        step += 1
+                    obs.count("train.steps", batches)
+                    epoch_span.set_attr(loss=epoch_loss / batches)
+                record = {
+                    "epoch": epoch,
+                    "loss": epoch_loss / batches,
+                    "train_accuracy": epoch_acc / batches,
+                }
+                if val_dataset is not None:
+                    record.update(evaluate_model(self.model, val_dataset))
+                self.history.append(record)
+                if cfg.log_every and (epoch % cfg.log_every == 0):
+                    print(f"[trainer] epoch {epoch}: {record}")
         self.model.eval()
         return self.history
 
@@ -119,7 +126,7 @@ def evaluate_model(model: VisionTransformer, dataset: WindowDataset,
     correct, total = 0, 0
     attr_correct: Dict[str, int] = {}
     attr_total: Dict[str, int] = {}
-    with no_grad():
+    with get_registry().span("train.evaluate", examples=len(dataset)), no_grad():
         for batch in batch_iterator(dataset, batch_size, shuffle=False):
             out = model(Tensor(batch.images))
             pred = out["class_logits"].data.argmax(axis=-1)

@@ -132,25 +132,28 @@ class Simulator:
     # ------------------------------------------------------------------
     def simulate(self, program: Program) -> PerfReport:
         obs = get_registry()
-        with obs.time("hw.op_model"):
-            records = [self._op_record(op) for op in program]
+        with obs.span("hw.simulate", program=program.name, batch=program.batch,
+                      config=self.config.name) as span:
+            with obs.time("hw.op_model"):
+                records = [self._op_record(op) for op in program]
 
-        # Latency: serialize within an engine; overlap engine switches.
-        with obs.time("hw.step_loop"):
-            total = 0.0
-            previous_engine: Optional[str] = None
-            previous_cycles = 0
-            for record in records:
-                if previous_engine is None or record.engine == previous_engine:
-                    total += record.cycles
-                else:
-                    # Hide part of the shorter op behind the longer one.
-                    hidden = self.overlap_efficiency * min(record.cycles, previous_cycles)
-                    total += record.cycles - hidden
-                previous_engine = record.engine
-                previous_cycles = record.cycles
-        total_cycles = int(round(total))
-        obs.count("hw.ops_simulated", len(records))
+            # Latency: serialize within an engine; overlap engine switches.
+            with obs.time("hw.step_loop"):
+                total = 0.0
+                previous_engine: Optional[str] = None
+                previous_cycles = 0
+                for record in records:
+                    if previous_engine is None or record.engine == previous_engine:
+                        total += record.cycles
+                    else:
+                        # Hide part of the shorter op behind the longer one.
+                        hidden = self.overlap_efficiency * min(record.cycles, previous_cycles)
+                        total += record.cycles - hidden
+                    previous_engine = record.engine
+                    previous_cycles = record.cycles
+            total_cycles = int(round(total))
+            obs.count("hw.ops_simulated", len(records))
+            span.set_attr(ops=len(records), total_cycles=total_cycles)
         latency_s = self.config.cycles_to_seconds(total_cycles)
 
         dynamic_pj: Dict[str, float] = {"gemm": 0.0, "vector": 0.0, "dma": 0.0}

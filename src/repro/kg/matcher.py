@@ -112,9 +112,13 @@ class GraphMatcher:
         summing to one.  Families missing from the mapping are treated as
         uniform (maximum uncertainty).
         """
-        with get_registry().time("kg.match"):
+        with get_registry().span(
+            "kg.match", task=self.kg.task_name,
+            constraints=len(self.kg.constraints),
+        ) as span:
             first = next(iter(attribute_probs.values()), None)
             batch = 1 if first is None else np.asarray(first).shape[0]
+            span.set_attr(batch=batch)
 
             log_score = np.zeros(batch, dtype=np.float64)
             total_weight = 0.0

@@ -1,16 +1,61 @@
-"""Lightweight observability: stage timers and counters for hot paths.
+"""Lightweight observability: spans, stage timers, and counters.
 
 ``repro.obs`` has no dependencies (stdlib only) and is safe to import
-from any layer.  The detection pipeline, KG matcher, and hardware
-simulator all record into the process-wide registry so benchmarks can
-print a per-stage latency breakdown instead of one opaque number:
+from any layer.  The detection pipeline, KG matcher, hardware simulator,
+trainers, and quantization calibration all record into the process-wide
+registry, so benchmarks can print a per-stage latency breakdown — with
+p50/p90/p99 from streaming histograms — instead of one opaque number:
 
     from repro.obs import get_registry
     get_registry().reset()
     detector.detect(scene)
     print(get_registry().report("detect"))
+
+Timed blocks nest: ``registry.span("detect.total")`` around
+``registry.time("detect.nms")`` yields a parent/child trace tree that
+:mod:`repro.obs.trace` exports as Chrome trace-event JSON (open it in
+Perfetto), and :mod:`repro.obs.telemetry` persists alongside a run
+manifest as ``BENCH_*.json`` for ``repro obs report/trace/compare``.
 """
 
-from repro.obs.registry import Counter, Registry, Timer, get_registry, traced
+from repro.obs.registry import (
+    Counter,
+    Histogram,
+    Registry,
+    Span,
+    Timer,
+    get_registry,
+    traced,
+)
+from repro.obs.trace import chrome_trace, flatten_tree, span_tree
+from repro.obs.telemetry import (
+    SCHEMA_VERSION,
+    Comparison,
+    CompareRow,
+    build_telemetry,
+    compare_telemetry,
+    load_telemetry,
+    run_manifest,
+    write_telemetry,
+)
 
-__all__ = ["Counter", "Registry", "Timer", "get_registry", "traced"]
+__all__ = [
+    "Counter",
+    "Histogram",
+    "Registry",
+    "Span",
+    "Timer",
+    "get_registry",
+    "traced",
+    "chrome_trace",
+    "span_tree",
+    "flatten_tree",
+    "SCHEMA_VERSION",
+    "Comparison",
+    "CompareRow",
+    "build_telemetry",
+    "compare_telemetry",
+    "load_telemetry",
+    "run_manifest",
+    "write_telemetry",
+]

@@ -1,19 +1,35 @@
-"""Zero-dependency timers and counters for the inference hot path.
+"""Zero-dependency tracing, timers, and counters for the inference hot path.
 
-The registry is deliberately tiny: a :class:`Timer` accumulates wall-clock
-durations per named stage, a :class:`Counter` accumulates event counts,
-and a :class:`Registry` holds both behind get-or-create accessors.  Code
-under measurement uses the ``with registry.time("stage")`` context manager
-(or the :func:`traced` decorator for whole functions); benchmarks call
-``registry.report()`` to print a per-stage latency table and
-``registry.reset()`` between timed sections.
+Three layers, all stdlib-only:
+
+* **Timers/counters** — a :class:`Timer` accumulates wall-clock durations
+  per named stage (count/total/min/max plus a streaming log-bucket
+  :class:`Histogram` for p50/p90/p99); a :class:`Counter` accumulates
+  event counts.
+* **Spans** — ``with registry.span("detect.total", task="...") as sp:``
+  opens a hierarchical span.  Spans nest through a thread-local stack, so
+  a stage timed inside another stage becomes its child automatically;
+  every completed span both feeds the stage's Timer and is appended to a
+  bounded in-memory event list that :mod:`repro.obs.trace` can export as
+  Chrome trace-event JSON (viewable in Perfetto / ``chrome://tracing``).
+  ``registry.time(name)`` is the attribute-less alias, so the historical
+  call sites participate in the tree for free.
+* **Telemetry** — :meth:`Registry.telemetry_snapshot` is the
+  serialization-ready view (strict JSON: no ``Infinity``) that
+  :mod:`repro.obs.telemetry` embeds in ``BENCH_*.json`` files.
 
 A process-wide default registry (:func:`get_registry`) lets deep call
 sites — window extraction, model forward, KG matching, NMS, the hardware
-simulator — record into one shared table without plumbing a handle
-through every signature.  Instrumentation overhead is two
-``perf_counter`` calls per stage; setting ``registry.enabled = False``
-turns every probe into a no-op for overhead-sensitive runs.
+simulator, trainers, quantization calibration — record into one shared
+table without plumbing a handle through every signature.
+
+Overhead discipline: with ``registry.enabled = False`` every probe
+returns before touching a clock, a lock, or the span stack; with it
+enabled, the get-or-create accessors are lock-free on the hit path
+(plain dict reads are atomic under the GIL) and only take the registry
+lock to *create* a stage or append a completed span.  Per-stage mutation
+uses a per-Timer/per-Counter lock so concurrent recordings never lose
+updates (totals stay exact across threads).
 """
 
 from __future__ import annotations
@@ -21,20 +37,88 @@ from __future__ import annotations
 import contextlib
 import dataclasses
 import functools
+import itertools
 import math
 import threading
 import time
-from typing import Callable, Dict, Iterator, Optional
+from typing import Any, Callable, Dict, Iterator, List, Optional
 
 __all__ = [
     "Counter",
-    "Timer",
+    "Histogram",
     "Registry",
+    "Span",
+    "Timer",
     "get_registry",
     "traced",
 ]
 
 
+# ----------------------------------------------------------------------
+# Percentile histogram
+# ----------------------------------------------------------------------
+# Geometric buckets from 0.1 µs up: bucket i covers
+# [_HIST_MIN_S * G**i, _HIST_MIN_S * G**(i+1)).  93 buckets reach ~100 s,
+# and the geometric-midpoint representative bounds the relative error of
+# any percentile by sqrt(G) - 1 ≈ 11.8 %.
+_HIST_MIN_S = 1e-7
+_HIST_GROWTH = 1.25
+_HIST_BUCKETS = 93
+_LOG_GROWTH = math.log(_HIST_GROWTH)
+
+
+class Histogram:
+    """Streaming fixed-bucket (log-scale) histogram of durations.
+
+    Constant memory, O(1) :meth:`record`, percentile queries by walking
+    the cumulative counts.  Representative values are clamped to the
+    observed ``[min, max]`` so extreme percentiles never overshoot the
+    data.
+    """
+
+    __slots__ = ("counts", "count", "_min", "_max")
+
+    def __init__(self) -> None:
+        self.counts = [0] * _HIST_BUCKETS
+        self.count = 0
+        self._min = math.inf
+        self._max = 0.0
+
+    @staticmethod
+    def bucket_index(seconds: float) -> int:
+        if seconds <= _HIST_MIN_S:
+            return 0
+        index = int(math.log(seconds / _HIST_MIN_S) / _LOG_GROWTH)
+        return min(index, _HIST_BUCKETS - 1)
+
+    def record(self, seconds: float) -> None:
+        self.counts[self.bucket_index(seconds)] += 1
+        self.count += 1
+        if seconds < self._min:
+            self._min = seconds
+        if seconds > self._max:
+            self._max = seconds
+
+    def percentile(self, q: float) -> float:
+        """Approximate the ``q``-th percentile (``0 <= q <= 100``)."""
+        if not 0.0 <= q <= 100.0:
+            raise ValueError("percentile must be in [0, 100]")
+        if self.count == 0:
+            return 0.0
+        rank = max(1, math.ceil(q / 100.0 * self.count))
+        seen = 0
+        for index, bucket_count in enumerate(self.counts):
+            seen += bucket_count
+            if seen >= rank:
+                low = _HIST_MIN_S * _HIST_GROWTH ** index
+                representative = low * math.sqrt(_HIST_GROWTH)
+                return min(max(representative, self._min), self._max)
+        return self._max  # pragma: no cover — unreachable (seen == count)
+
+
+# ----------------------------------------------------------------------
+# Timers and counters
+# ----------------------------------------------------------------------
 @dataclasses.dataclass
 class Timer:
     """Accumulated wall-clock statistics for one named stage."""
@@ -45,17 +129,54 @@ class Timer:
     min_s: float = math.inf
     max_s: float = 0.0
     last_s: float = 0.0
+    histogram: Histogram = dataclasses.field(default_factory=Histogram,
+                                             repr=False, compare=False)
+    _lock: threading.Lock = dataclasses.field(default_factory=threading.Lock,
+                                              repr=False, compare=False)
 
     def record(self, seconds: float) -> None:
-        self.calls += 1
-        self.total_s += seconds
-        self.min_s = min(self.min_s, seconds)
-        self.max_s = max(self.max_s, seconds)
-        self.last_s = seconds
+        with self._lock:
+            self.calls += 1
+            self.total_s += seconds
+            self.min_s = min(self.min_s, seconds)
+            self.max_s = max(self.max_s, seconds)
+            self.last_s = seconds
+            self.histogram.record(seconds)
 
     @property
     def mean_s(self) -> float:
         return self.total_s / self.calls if self.calls else 0.0
+
+    def percentile(self, q: float) -> float:
+        return self.histogram.percentile(q)
+
+    @property
+    def p50_s(self) -> float:
+        return self.percentile(50.0)
+
+    @property
+    def p90_s(self) -> float:
+        return self.percentile(90.0)
+
+    @property
+    def p99_s(self) -> float:
+        return self.percentile(99.0)
+
+    def stats(self) -> Dict[str, float]:
+        """Strict-JSON stats dict (never emits ``Infinity``)."""
+        return {
+            "calls": self.calls,
+            "total_s": self.total_s,
+            "mean_s": self.mean_s,
+            # A created-but-never-recorded timer keeps min_s = inf
+            # internally; exporting that breaks strict JSON consumers.
+            "min_s": self.min_s if self.calls else 0.0,
+            "max_s": self.max_s,
+            "last_s": self.last_s,
+            "p50_s": self.p50_s,
+            "p90_s": self.p90_s,
+            "p99_s": self.p99_s,
+        }
 
 
 @dataclasses.dataclass
@@ -64,39 +185,110 @@ class Counter:
 
     name: str
     value: float = 0
+    _lock: threading.Lock = dataclasses.field(default_factory=threading.Lock,
+                                              repr=False, compare=False)
 
     def add(self, amount: float = 1) -> None:
-        self.value += amount
+        with self._lock:
+            self.value += amount
+
+
+# ----------------------------------------------------------------------
+# Spans
+# ----------------------------------------------------------------------
+@dataclasses.dataclass
+class Span:
+    """One (possibly still open) node of the trace tree.
+
+    ``start_us``/``dur_us`` are microseconds relative to the registry's
+    epoch (reset on :meth:`Registry.reset`) — the Chrome trace-event
+    convention.
+    """
+
+    name: str
+    span_id: int
+    parent_id: Optional[int]
+    tid: int
+    start_us: float = 0.0
+    dur_us: float = 0.0
+    attrs: Dict[str, Any] = dataclasses.field(default_factory=dict)
+
+    def set_attr(self, **attrs: Any) -> "Span":
+        """Attach attributes discovered mid-span (window counts, ...)."""
+        self.attrs.update(attrs)
+        return self
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "tid": self.tid,
+            "start_us": self.start_us,
+            "dur_us": self.dur_us,
+            "attrs": dict(self.attrs),
+        }
+
+
+class _NullSpan:
+    """Inert span handed out while the registry is disabled."""
+
+    __slots__ = ()
+
+    def set_attr(self, **attrs: Any) -> "_NullSpan":
+        return self
+
+
+_NULL_SPAN = _NullSpan()
+
+# Hot loops can emit millions of spans; keep a bounded window and count
+# the overflow instead of growing without limit.
+DEFAULT_MAX_SPANS = 100_000
 
 
 class Registry:
-    """Named collection of timers and counters.
+    """Named collection of timers, counters, and completed spans.
 
-    Thread-safe for concurrent ``time``/``count`` calls; detection servers
-    can share one registry across worker threads.
+    Thread-safe for concurrent ``span``/``time``/``count`` calls;
+    detection servers can share one registry across worker threads.  Each
+    thread keeps its own span stack, so parent/child links never cross
+    threads.
     """
 
-    def __init__(self, name: str = "obs") -> None:
+    def __init__(self, name: str = "obs",
+                 max_spans: int = DEFAULT_MAX_SPANS) -> None:
         self.name = name
         self.enabled = True
+        self.max_spans = max_spans
         self._timers: Dict[str, Timer] = {}
         self._counters: Dict[str, Counter] = {}
+        self._spans: List[Span] = []
+        self._dropped_spans = 0
         self._lock = threading.Lock()
+        self._tls = threading.local()
+        self._span_ids = itertools.count(1)
+        self._epoch = time.perf_counter()
 
     # -- accessors ------------------------------------------------------
     def timer(self, name: str) -> Timer:
-        with self._lock:
-            timer = self._timers.get(name)
-            if timer is None:
-                timer = self._timers[name] = Timer(name)
-            return timer
+        # Lock-free hit path: dict reads are atomic under the GIL, and
+        # entries are never deleted outside reset().
+        timer = self._timers.get(name)
+        if timer is None:
+            with self._lock:
+                timer = self._timers.get(name)
+                if timer is None:
+                    timer = self._timers[name] = Timer(name)
+        return timer
 
     def counter(self, name: str) -> Counter:
-        with self._lock:
-            counter = self._counters.get(name)
-            if counter is None:
-                counter = self._counters[name] = Counter(name)
-            return counter
+        counter = self._counters.get(name)
+        if counter is None:
+            with self._lock:
+                counter = self._counters.get(name)
+                if counter is None:
+                    counter = self._counters[name] = Counter(name)
+        return counter
 
     @property
     def timers(self) -> Dict[str, Timer]:
@@ -108,18 +300,63 @@ class Registry:
         with self._lock:
             return dict(self._counters)
 
+    @property
+    def spans(self) -> List[Span]:
+        with self._lock:
+            return list(self._spans)
+
+    @property
+    def dropped_spans(self) -> int:
+        return self._dropped_spans
+
     # -- recording ------------------------------------------------------
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._tls, "stack", None)
+        if stack is None:
+            stack = self._tls.stack = []
+        return stack
+
     @contextlib.contextmanager
-    def time(self, name: str) -> Iterator[None]:
-        """Context manager accumulating the block's wall time under ``name``."""
+    def span(self, name: str, **attrs: Any) -> Iterator[Span]:
+        """Open a named child span of whatever span this thread is in.
+
+        Yields the :class:`Span` so the block can ``set_attr(...)``
+        values it only learns mid-flight.  On exit the duration feeds the
+        stage's :class:`Timer` (so percentiles aggregate across calls)
+        and the completed span joins the trace buffer.
+        """
         if not self.enabled:
-            yield
+            yield _NULL_SPAN
             return
+        stack = self._stack()
+        parent = stack[-1] if stack else None
+        span = Span(
+            name=name,
+            span_id=next(self._span_ids),
+            parent_id=parent.span_id if parent is not None else None,
+            tid=threading.get_ident(),
+            attrs=dict(attrs) if attrs else {},
+        )
+        stack.append(span)
         start = time.perf_counter()
         try:
-            yield
+            yield span
         finally:
-            self.timer(name).record(time.perf_counter() - start)
+            elapsed = time.perf_counter() - start
+            stack.pop()
+            span.start_us = (start - self._epoch) * 1e6
+            span.dur_us = elapsed * 1e6
+            self.timer(name).record(elapsed)
+            with self._lock:
+                if len(self._spans) < self.max_spans:
+                    self._spans.append(span)
+                else:
+                    self._dropped_spans += 1
+
+    def time(self, name: str) -> "contextlib.AbstractContextManager[Span]":
+        """Attribute-less :meth:`span` — kept for the historical call
+        sites; timed blocks still join the span tree."""
+        return self.span(name)
 
     def count(self, name: str, amount: float = 1) -> None:
         if self.enabled:
@@ -128,7 +365,9 @@ class Registry:
     def traced(self, name: Optional[str] = None) -> Callable:
         """Decorator timing every call to the wrapped function.
 
-        The stage name defaults to the function's qualified name.
+        The stage name defaults to the function's qualified name.  When
+        the registry is disabled the wrapper is a plain passthrough — no
+        lock, no clock, no span bookkeeping.
         """
 
         def decorate(func: Callable) -> Callable:
@@ -136,7 +375,9 @@ class Registry:
 
             @functools.wraps(func)
             def wrapper(*args, **kwargs):
-                with self.time(stage):
+                if not self.enabled:
+                    return func(*args, **kwargs)
+                with self.span(stage):
                     return func(*args, **kwargs)
 
             return wrapper
@@ -145,22 +386,31 @@ class Registry:
 
     # -- inspection -----------------------------------------------------
     def snapshot(self) -> Dict[str, Dict[str, float]]:
-        """Plain-dict view of all stats (stable for serialization/tests)."""
+        """Plain-dict view of all stats (stable for serialization/tests).
+
+        Strict-JSON safe: never-recorded timers report ``min_s = 0.0``
+        rather than leaking ``Infinity``.
+        """
         with self._lock:
             return {
-                "timers": {
-                    n: {
-                        "calls": t.calls,
-                        "total_s": t.total_s,
-                        "mean_s": t.mean_s,
-                        "min_s": t.min_s,
-                        "max_s": t.max_s,
-                        "last_s": t.last_s,
-                    }
-                    for n, t in self._timers.items()
-                },
+                "timers": {n: t.stats() for n, t in self._timers.items()},
                 "counters": {n: c.value for n, c in self._counters.items()},
             }
+
+    def telemetry_snapshot(self) -> Dict[str, Any]:
+        """Snapshot plus the span buffer — the ``obs`` block that
+        :mod:`repro.obs.telemetry` embeds in ``BENCH_*.json``."""
+        doc = self.snapshot()
+        with self._lock:
+            doc["spans"] = [s.as_dict() for s in self._spans]
+            doc["dropped_spans"] = self._dropped_spans
+        return doc
+
+    def span_tree(self) -> List[Dict[str, Any]]:
+        """Nested view of the span buffer (see :func:`repro.obs.trace.span_tree`)."""
+        from repro.obs.trace import span_tree
+
+        return span_tree(self.spans)
 
     def report(self, title: Optional[str] = None) -> str:
         """Human-readable per-stage latency table, sorted by total time."""
@@ -170,12 +420,14 @@ class Registry:
             width = max(len(t.name) for t in timers)
             lines.append(
                 f"{'stage'.ljust(width)} | {'calls':>6} | {'total ms':>10} | "
-                f"{'mean ms':>10} | {'max ms':>10}"
+                f"{'mean ms':>10} | {'p50 ms':>10} | {'p99 ms':>10} | "
+                f"{'max ms':>10}"
             )
             for t in timers:
                 lines.append(
                     f"{t.name.ljust(width)} | {t.calls:>6d} | "
                     f"{t.total_s * 1e3:>10.3f} | {t.mean_s * 1e3:>10.3f} | "
+                    f"{t.p50_s * 1e3:>10.3f} | {t.p99_s * 1e3:>10.3f} | "
                     f"{t.max_s * 1e3:>10.3f}"
                 )
         else:
@@ -193,6 +445,9 @@ class Registry:
         with self._lock:
             self._timers.clear()
             self._counters.clear()
+            self._spans.clear()
+            self._dropped_spans = 0
+            self._epoch = time.perf_counter()
 
 
 _GLOBAL = Registry("repro")

@@ -1,0 +1,117 @@
+"""Span-buffer views: Chrome trace-event export and nested span trees.
+
+The registry stores completed spans as a flat list (append order = finish
+order).  Two consumers need structure on top:
+
+* :func:`chrome_trace` — the Chrome trace-event JSON format (``ph: "X"``
+  complete events, microsecond timestamps).  The output loads directly in
+  Perfetto (https://ui.perfetto.dev) or ``chrome://tracing``.
+* :func:`span_tree` — parent/child nesting reconstructed from
+  ``parent_id`` links, children in start order.  Benchmarks derive their
+  stage lists from this tree so stage names cannot drift from what the
+  pipeline actually records.
+
+Both accept either :class:`~repro.obs.registry.Span` objects (live
+registry) or plain dicts (spans reloaded from a ``BENCH_*.json``).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Dict, Iterable, List, Union
+
+from repro.obs.registry import Span
+
+SpanLike = Union[Span, Dict[str, Any]]
+
+__all__ = ["chrome_trace", "span_tree", "flatten_tree"]
+
+
+def _as_dict(span: SpanLike) -> Dict[str, Any]:
+    return span.as_dict() if isinstance(span, Span) else span
+
+
+def chrome_trace(spans: Iterable[SpanLike],
+                 process_name: str = "repro") -> Dict[str, Any]:
+    """Convert completed spans to a Chrome trace-event document.
+
+    Returns the JSON-object form (``{"traceEvents": [...]}``), which
+    Perfetto and ``chrome://tracing`` both accept.  Span attributes land
+    in each event's ``args`` so they show in the UI's detail pane.
+    """
+    pid = os.getpid()
+    events: List[Dict[str, Any]] = [{
+        "ph": "M",
+        "pid": pid,
+        "name": "process_name",
+        "args": {"name": process_name},
+    }]
+    tids = set()
+    for span in spans:
+        record = _as_dict(span)
+        tids.add(record["tid"])
+        events.append({
+            "name": record["name"],
+            "cat": "repro",
+            "ph": "X",
+            "ts": record["start_us"],
+            "dur": record["dur_us"],
+            "pid": pid,
+            "tid": record["tid"],
+            "args": dict(record.get("attrs") or {}),
+        })
+    for index, tid in enumerate(sorted(tids)):
+        events.append({
+            "ph": "M",
+            "pid": pid,
+            "tid": tid,
+            "name": "thread_name",
+            "args": {"name": f"thread-{index}"},
+        })
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def span_tree(spans: Iterable[SpanLike]) -> List[Dict[str, Any]]:
+    """Reconstruct nesting from the flat span buffer.
+
+    Returns the root spans (no parent, or parent evicted from the bounded
+    buffer) in start order; each node carries ``name``, ``start_us``,
+    ``dur_us``, ``attrs``, ``tid``, and ``children`` (also in start
+    order).
+    """
+    nodes: Dict[int, Dict[str, Any]] = {}
+    records = [_as_dict(s) for s in spans]
+    for record in records:
+        nodes[record["span_id"]] = {
+            "name": record["name"],
+            "span_id": record["span_id"],
+            "start_us": record["start_us"],
+            "dur_us": record["dur_us"],
+            "tid": record["tid"],
+            "attrs": dict(record.get("attrs") or {}),
+            "children": [],
+        }
+    roots: List[Dict[str, Any]] = []
+    for record in records:
+        node = nodes[record["span_id"]]
+        parent = nodes.get(record.get("parent_id"))
+        (parent["children"] if parent is not None else roots).append(node)
+    for node in nodes.values():
+        node["children"].sort(key=lambda child: child["start_us"])
+    roots.sort(key=lambda node: node["start_us"])
+    return roots
+
+
+def flatten_tree(roots: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """Depth-first flattening of :func:`span_tree` output (parents before
+    children), handy for tabular stage listings."""
+    flat: List[Dict[str, Any]] = []
+
+    def visit(node: Dict[str, Any]) -> None:
+        flat.append(node)
+        for child in node["children"]:
+            visit(child)
+
+    for root in roots:
+        visit(root)
+    return flat

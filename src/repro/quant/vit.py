@@ -22,6 +22,7 @@ import numpy as np
 from scipy import special as _special
 
 from repro.nn import Linear, VisionTransformer
+from repro.obs import get_registry
 from repro.quant.linear import QuantizedLinear
 from repro.quant.observers import Observer, make_observer
 from repro.quant.qparams import QuantParams, QuantSpec
@@ -170,12 +171,16 @@ def calibrate_observers(
     """Run float inference over the calibration set, observing every GEMM
     input, and return frozen activation quantization parameters."""
     sites = _model_sites(model)
-    observers = {site: make_observer(observer_kind, act_spec) for site in sites}
-    projections = {site: _float_proj(_site_linear(model, site)) for site in sites}
-    for start in range(0, calibration_images.shape[0], batch_size):
-        chunk = calibration_images[start:start + batch_size]
-        _vit_forward(model, chunk, projections, observers)
-    return {site: obs.compute() for site, obs in observers.items()}
+    with get_registry().span(
+        "quant.calibrate", sites=len(sites), observer=observer_kind,
+        images=int(calibration_images.shape[0]),
+    ):
+        observers = {site: make_observer(observer_kind, act_spec) for site in sites}
+        projections = {site: _float_proj(_site_linear(model, site)) for site in sites}
+        for start in range(0, calibration_images.shape[0], batch_size):
+            chunk = calibration_images[start:start + batch_size]
+            _vit_forward(model, chunk, projections, observers)
+        return {site: obs.compute() for site, obs in observers.items()}
 
 
 @dataclasses.dataclass
@@ -234,10 +239,13 @@ def quantize_vit(
         model, np.asarray(calibration_images, np.float32),
         act_spec=act_spec, observer_kind=observer_kind,
     )
-    layers = {
-        site: QuantizedLinear.from_linear(
-            _site_linear(model, site), act_params[site], weight_spec,
-        )
-        for site in _model_sites(model)
-    }
+    sites = _model_sites(model)
+    with get_registry().span("quant.convert", sites=len(sites),
+                             weight_bits=weight_spec.bits):
+        layers = {
+            site: QuantizedLinear.from_linear(
+                _site_linear(model, site), act_params[site], weight_spec,
+            )
+            for site in sites
+        }
     return QuantizedVisionTransformer(model=model, layers=layers)
