@@ -1,19 +1,21 @@
 """Streaming sensing: iTask on a continuous frame stream.
 
 The paper's deployment scenario: an edge sensor produces frames
-continuously; objects appear, persist, and vanish.  This example runs the
-quantized configuration with temporal smoothing + hysteresis over an
-evolving scene, reports streaming metrics, and uses the hardware
-simulator to confirm the accelerator sustains the frame rate with power
-to spare.
+continuously; objects appear, persist, and vanish.  This example
+prepares the mission once through the session cache
+(``pipeline.session``), runs the quantized configuration with temporal
+smoothing + hysteresis over an evolving scene, replays the same stream
+through the fused ``update_many`` path, and uses the hardware simulator
+to confirm the accelerator sustains the frame rate with power to spare.
 
 Run:  python examples/streaming_sensing.py
 """
 
-from repro.core import ArtifactBuilder
+import time
+
+from repro.core import ArtifactBuilder, ITaskPipeline, TaskSpec
 from repro.data import get_task
 from repro.hw import AcceleratorConfig, Compiler, Simulator
-from repro.kg import GraphMatcher, SimulatedLLM
 from repro.stream import (
     SceneSequence,
     SequenceConfig,
@@ -29,10 +31,13 @@ FPS = 30.0
 def main() -> None:
     print("=== iTask streaming sensing ===")
     builder = ArtifactBuilder(seed=0)
-    model = builder.quantized().model
+    pipeline = ITaskPipeline(builder.quantized())
     task = get_task("roadside_hazards")
-    matcher = GraphMatcher(SimulatedLLM().generate_for_task(task))
-    print(f"\nmission: {task.name}  ({FRAMES} frames @ {FPS:.0f} fps)")
+    # One prepared mission serves every tracker below: the session caches
+    # LLM extraction, configuration selection, and the matcher plans.
+    session = pipeline.session(TaskSpec.from_definition(task))
+    print(f"\nmission: {task.name}  ({FRAMES} frames @ {FPS:.0f} fps)  "
+          f"configuration: {session.decision.kind}")
 
     print(f"\n{'config':<26} {'accuracy':>9} {'latency(frames)':>16} "
           f"{'detected':>9} {'flicker':>8}")
@@ -43,7 +48,7 @@ def main() -> None:
                                                    max_missed_frames=0)),
         ("EMA + hysteresis", TrackerConfig()),
     ]:
-        detector = StreamingDetector(model, matcher, config)
+        detector = StreamingDetector.from_session(session, config)
         sequence = SceneSequence(SequenceConfig(), seed=11)
         metrics = evaluate_stream(detector, sequence, task, num_frames=FRAMES)
         print(f"{label:<26} {metrics.frame_accuracy:>9.3f} "
@@ -51,9 +56,25 @@ def main() -> None:
               f"{metrics.detected_fraction:>9.2f} "
               f"{metrics.flicker_rate:>8.3f}")
 
+    # Offline replay: the recorded stream re-scored with one fused model
+    # forward per chunk (update_many) — same tracks, fewer, bigger GEMMs.
+    sequence = SceneSequence(SequenceConfig(), seed=11)
+    frames = [sequence.step().scene for _ in range(FRAMES)]
+    for label, runner in [
+        ("frame-by-frame", lambda d: [d.update(f) for f in frames]),
+        ("fused replay (update_many)", lambda d: d.update_many(frames)),
+    ]:
+        detector = StreamingDetector.from_session(session)
+        start = time.perf_counter()
+        snapshots = runner(detector)
+        elapsed = time.perf_counter() - start
+        print(f"{label:<28} {len(frames) / elapsed:>7.1f} frames/s "
+              f"({sum(len(s) for s in snapshots)} track-frames)")
+
     # Can the accelerator keep up? One frame = grid² window inferences.
     accel_config = AcceleratorConfig.edge_default()
     grid = SequenceConfig().scene.grid
+    model = session.configuration.model
     program = Compiler(accel_config).compile(model, batch=grid * grid)
     report = Simulator(accel_config).simulate(program)
     budget_ms = 1000.0 / FPS

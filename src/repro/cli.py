@@ -19,6 +19,9 @@ Commands
     inspect and maintain the checkpoint cache: per-entry integrity
     status, a full verification sweep (non-zero exit on corruption, for
     CI), and garbage collection of quarantined/temp/lock files.
+``engine bench``
+    serving-engine throughput sweep: scenes/sec for per-call rebuild,
+    cached session, and the micro-batching engine (batch x workers).
 ``obs {report,export,trace,compare}``
     the telemetry family: render a ``BENCH_*.json`` (manifest + per-stage
     p50/p90/p99 + counters), run an instrumented detection workload and
@@ -241,11 +244,44 @@ def _cmd_obs_report(args: argparse.Namespace) -> int:
         width = max(len(name) for name in counters)
         for name, value in sorted(counters.items()):
             print(f"{name.ljust(width)} | {value}")
+    distributions = doc.get("obs", {}).get("distributions", {})
+    if distributions:
+        width = max(len(name) for name in distributions)
+        print(f"\n{'distribution'.ljust(width)} | {'count':>6} | {'mean':>8} | "
+              f"{'p50':>8} | {'p90':>8} | {'max':>8}")
+        for name, stats in sorted(distributions.items()):
+            print(f"{name.ljust(width)} | {stats.get('count', 0):>6} | "
+                  f"{stats.get('mean', 0.0):>8.2f} | "
+                  f"{stats.get('p50', 0.0):>8.2f} | "
+                  f"{stats.get('p90', 0.0):>8.2f} | "
+                  f"{stats.get('max', 0.0):>8.2f}")
     spans = doc.get("obs", {}).get("spans", [])
     rows = doc.get("rows", [])
     tables = doc.get("tables", {}) or {}
     print(f"\n{len(spans)} span(s), {len(rows)} result row(s), "
           f"{len(tables)} extra table(s)")
+    return 0
+
+
+def _cmd_engine_bench(args: argparse.Namespace) -> int:
+    from repro.serve.bench import best_engine_speedup, run_throughput
+
+    batch_sizes = [int(b) for b in args.batch_sizes.split(",")]
+    workers = [int(w) for w in args.workers.split(",")]
+    rows = run_throughput(
+        num_scenes=args.scenes, grid=args.grid, batch_sizes=batch_sizes,
+        workers=workers, repeats=args.repeats, seed=args.seed)
+    print(f"{'mode':<16} | {'batch':>5} | {'workers':>7} | "
+          f"{'scenes/s':>9} | {'ms/scene':>9} | {'speedup':>8}")
+    for row in rows:
+        batch = "-" if row["batch"] is None else str(row["batch"])
+        nworkers = "-" if row["workers"] is None else str(row["workers"])
+        print(f"{row['mode']:<16} | {batch:>5} | {nworkers:>7} | "
+              f"{row['scenes_per_s']:>9.1f} | {row['ms_per_scene']:>9.3f} | "
+              f"{row['speedup_vs_percall']:>7.2f}x")
+    best = best_engine_speedup(rows)
+    print(f"\nbest engine speedup vs per-call rebuild (batch >= 8): "
+          f"{best:.2f}x")
     return 0
 
 
@@ -385,6 +421,24 @@ def build_parser() -> argparse.ArgumentParser:
     art_gc.add_argument("--keep-quarantine", action="store_true",
                         help="only remove temp/lock leftovers")
     art_gc.set_defaults(func=_cmd_artifacts_gc)
+
+    engine = sub.add_parser(
+        "engine", help="serving-engine utilities (micro-batched detection)")
+    engine_sub = engine.add_subparsers(dest="engine_command", required=True)
+    engine_bench = engine_sub.add_parser(
+        "bench",
+        help="scenes/sec: per-call rebuild vs cached session vs engine")
+    engine_bench.add_argument("--scenes", type=int, default=48,
+                              help="scenes per timed pass")
+    engine_bench.add_argument("--repeats", type=int, default=3,
+                              help="interleaved timing rounds per mode")
+    engine_bench.add_argument("--grid", type=int, default=3)
+    engine_bench.add_argument("--seed", type=int, default=7)
+    engine_bench.add_argument("--batch-sizes", default="1,8,32",
+                              help="comma-separated engine max_batch sweep")
+    engine_bench.add_argument("--workers", default="1,2",
+                              help="comma-separated engine worker sweep")
+    engine_bench.set_defaults(func=_cmd_engine_bench)
 
     obs = sub.add_parser(
         "obs", help="benchmark telemetry: report, export, trace, compare")

@@ -3,14 +3,19 @@
 ``mission text → knowledge graph → (refine with support) → select
 configuration → detect``.  The pipeline is the object the examples and
 the E1/E2/E5/E8 experiments drive.
+
+Serving model: ``prepare()`` results are cached per mission in an LRU
+:class:`repro.serve.SessionCache`, so repeated ``detect``/``evaluate``
+calls for one mission run LLM extraction, refinement, selection, and
+detector construction exactly once.  ``pipeline.session(spec)`` hands
+out the cached :class:`repro.serve.MissionSession` directly — the
+object to build a :class:`repro.serve.DetectionEngine` on.
 """
 
 from __future__ import annotations
 
 import dataclasses
 from typing import Dict, List, Optional, Sequence
-
-import numpy as np
 
 from repro.core.configurations import (
     ModelConfiguration,
@@ -20,12 +25,12 @@ from repro.core.configurations import (
 from repro.core.selector import ConfigurationSelector, SelectionDecision
 from repro.core.taskspec import TaskSpec
 from repro.data.scenes import Scene
-from repro.detect.metrics import task_accuracy
 from repro.detect.pipeline import Detection, TaskDetector
 from repro.kg.llm import SimulatedLLM
 from repro.kg.matcher import GraphMatcher
 from repro.kg.refinement import refine_with_examples
 from repro.kg.schema import KnowledgeGraph
+from repro.serve.session import MissionSession, SessionCache, mission_fingerprint
 
 
 @dataclasses.dataclass
@@ -58,6 +63,8 @@ class ITaskPipeline:
         detection degrades to objectness-only (data-only baseline).
     refine_kg:
         Ablation switch for few-shot graph refinement.
+    session_capacity:
+        How many prepared missions the LRU session cache holds.
     """
 
     def __init__(
@@ -69,6 +76,7 @@ class ITaskPipeline:
         score_threshold: float = 0.35,
         use_kg: bool = True,
         refine_kg: bool = True,
+        session_capacity: int = 8,
     ) -> None:
         self.quantized_configuration = quantized_configuration
         self.specialists = dict(specialists or {})
@@ -79,14 +87,28 @@ class ITaskPipeline:
         # Specialists registered at construction get graphs via
         # register_specialist(); an empty selector is the safe default.
         self.selector = selector or ConfigurationSelector()
+        self.sessions = SessionCache(capacity=session_capacity)
 
     # ------------------------------------------------------------------
     def register_specialist(self, task_name: str,
                             configuration: TaskSpecificConfiguration,
                             kg: KnowledgeGraph) -> None:
-        """Make a distilled specialist available for selection."""
+        """Make a distilled specialist available for selection.
+
+        Invalidates all cached sessions: selection decisions made before
+        the specialist existed may no longer be the right ones.
+        """
         self.specialists[task_name] = configuration
         self.selector.register_specialist(task_name, kg)
+        self.sessions.clear()
+
+    def invalidate_sessions(self) -> int:
+        """Drop every cached session (returns how many were dropped).
+
+        Use after mutating anything the fingerprint cannot see — e.g.
+        swapping a specialist's weights in place.
+        """
+        return self.sessions.clear()
 
     # ------------------------------------------------------------------
     def build_kg(self, spec: TaskSpec) -> KnowledgeGraph:
@@ -97,9 +119,43 @@ class ITaskPipeline:
             )
         return kg
 
+    def _session_key(self, spec: TaskSpec, multi_task: bool,
+                     latency_budget_ms: Optional[float]) -> str:
+        return mission_fingerprint(
+            spec,
+            multi_task=multi_task,
+            latency_budget_ms=latency_budget_ms,
+            use_kg=self.use_kg,
+            refine_kg=self.refine_kg,
+            score_threshold=self.score_threshold,
+            llm_noise=self.llm.noise,
+            selector=self.selector,
+        )
+
+    def session(self, spec: TaskSpec, multi_task: bool = False,
+                latency_budget_ms: Optional[float] = None) -> MissionSession:
+        """The cached session for a mission, preparing it on first use."""
+        key = self._session_key(spec, multi_task, latency_budget_ms)
+        return self.sessions.get_or_create(
+            key,
+            lambda: self._prepare_uncached(
+                spec, multi_task=multi_task,
+                latency_budget_ms=latency_budget_ms),
+        )
+
     def prepare(self, spec: TaskSpec, multi_task: bool = False,
                 latency_budget_ms: Optional[float] = None) -> PipelineResult:
-        """Resolve a mission into a ready-to-run detector."""
+        """Resolve a mission into a ready-to-run detector (cached).
+
+        Repeated calls for the same mission (and pipeline configuration)
+        return the session-cached result; see :meth:`session`.
+        """
+        return self.session(spec, multi_task=multi_task,
+                            latency_budget_ms=latency_budget_ms).result
+
+    def _prepare_uncached(self, spec: TaskSpec, multi_task: bool = False,
+                          latency_budget_ms: Optional[float] = None) -> PipelineResult:
+        """The raw mission-resolution work behind the session cache."""
         kg = self.build_kg(spec)
         decision = self.selector.select(
             kg, multi_task=multi_task, latency_budget_ms=latency_budget_ms,
@@ -122,12 +178,15 @@ class ITaskPipeline:
 
     # ------------------------------------------------------------------
     def detect(self, spec: TaskSpec, scene: Scene, **prepare_kwargs) -> List[Detection]:
-        return self.prepare(spec, **prepare_kwargs).detector.detect(scene)
+        """Detect in one scene, through the mission's cached session."""
+        return self.session(spec, **prepare_kwargs).detect(scene)
+
+    def detect_batch(self, spec: TaskSpec, scenes: Sequence[Scene],
+                     **prepare_kwargs) -> List[List[Detection]]:
+        """Batch-first detection: one fused forward across scenes."""
+        return self.session(spec, **prepare_kwargs).detect_batch(scenes)
 
     def evaluate(self, spec: TaskSpec, scenes: Sequence[Scene],
                  **prepare_kwargs) -> float:
         """Task accuracy of the resolved configuration over scenes."""
-        if spec.definition is None:
-            raise ValueError("evaluation requires spec.definition ground truth")
-        result = self.prepare(spec, **prepare_kwargs)
-        return task_accuracy(result.detector, scenes, spec.definition)
+        return self.session(spec, **prepare_kwargs).evaluate(scenes)

@@ -8,7 +8,12 @@ task-accuracy measure.
 """
 
 from repro.detect.boxes import box_iou, box_area, clip_box, nms, nms_reference
-from repro.detect.pipeline import Detection, TaskDetector, predict_windows
+from repro.detect.pipeline import (
+    Detection,
+    TaskDetector,
+    predict_windows,
+    score_predictions,
+)
 from repro.detect.metrics import (
     DetectionMetrics,
     match_detections,
@@ -28,6 +33,7 @@ __all__ = [
     "Detection",
     "TaskDetector",
     "predict_windows",
+    "score_predictions",
     "DetectionMetrics",
     "match_detections",
     "precision_recall_curve",

@@ -114,6 +114,13 @@ def average_precision(precision: np.ndarray, recall: np.ndarray) -> float:
     return float(np.sum(deltas * padded_precision[1:]))
 
 
+def _detect_all(detector, scenes: Sequence[Scene]) -> List[List[Detection]]:
+    """Per-scene detections via the fused batch path when available."""
+    if hasattr(detector, "detect_batch"):
+        return detector.detect_batch(scenes)
+    return [detector.detect(scene) for scene in scenes]
+
+
 def evaluate_task_detection(
     detector: TaskDetector,
     scenes: Sequence[Scene],
@@ -129,10 +136,10 @@ def evaluate_task_detection(
     all_hits: List[bool] = []
     tp = fp = fn = 0
     total_positives = 0
-    for scene in scenes:
+    scenes = list(scenes)
+    for scene, detections in zip(scenes, _detect_all(detector, scenes)):
         relevant = [obj for obj in scene.objects if task.matches(obj.profile)]
         total_positives += len(relevant)
-        detections = detector.detect(scene)
         hits, misses = match_detections(detections, relevant, iou_threshold)
         tp += sum(hits)
         fp += len(hits) - sum(hits)
@@ -160,21 +167,13 @@ def window_task_accuracy(
     ``task_labels``.  This is the E1 "specific scenario" accuracy: the
     dataset's hard negatives are what separate the two configurations.
     """
-    from repro.data.datasets import background_class_id
-    from repro.detect.pipeline import predict_windows
+    from repro.detect.pipeline import predict_windows, score_predictions
 
     if dataset.task_labels is None:
         raise ValueError("dataset has no task labels")
     predictions = predict_windows(model, dataset.images)
-    objectness = 1.0 - predictions["class_probs"][:, background_class_id()]
-    if "task_probs" in predictions:
-        task_scores = predictions["task_probs"]
-    elif matcher is not None:
-        task_scores = matcher.match_distributions(
-            predictions["attribute_probs"]).score
-    else:
-        task_scores = np.ones_like(objectness)
-    decisions = (objectness * task_scores) >= threshold
+    _, _, combined = score_predictions(predictions, matcher)
+    decisions = combined >= threshold
     truth = dataset.task_labels > 0.5
     return float((decisions == truth).mean())
 
@@ -198,12 +197,12 @@ def task_accuracy(
     """
     correct = 0
     total = 0
-    for scene in scenes:
+    scenes = list(scenes)
+    for scene, detections in zip(scenes, _detect_all(detector, scenes)):
         relevant_cells = {
             obj.cell for obj in scene.objects if task.matches(obj.profile)
         }
         object_cells = {obj.cell for obj in scene.objects}
-        detections = detector.detect(scene)
         fired_cells = set()
         for detection in detections:
             col = detection.bbox[0] // scene.cell_size

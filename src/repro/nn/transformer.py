@@ -9,7 +9,7 @@ import numpy as np
 from repro.nn.attention import MultiHeadSelfAttention
 from repro.nn.layers import Dropout, LayerNorm, Linear
 from repro.nn.module import Module
-from repro.tensor import Tensor, gelu
+from repro.tensor import Tensor, gelu, is_grad_enabled
 
 
 class FeedForward(Module):
@@ -60,6 +60,14 @@ class TransformerBlock(Module):
         self.mlp = FeedForward(dim, int(dim * mlp_ratio), dropout=dropout, rng=rng)
 
     def forward(self, x: Tensor) -> Tensor:
+        if not is_grad_enabled():
+            # Residuals accumulate in place into the branch outputs (fresh
+            # projection results) — addition commutes, so bit-identical.
+            attn_out = self.attn(self.norm1(x))
+            attn_out.data += x.data
+            mlp_out = self.mlp(self.norm2(attn_out))
+            mlp_out.data += attn_out.data
+            return mlp_out
         x = x + self.attn(self.norm1(x))
         x = x + self.mlp(self.norm2(x))
         return x

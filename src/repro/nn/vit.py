@@ -19,7 +19,7 @@ from repro.nn import init
 from repro.nn.layers import Dropout, LayerNorm, Linear
 from repro.nn.module import Module, Parameter
 from repro.nn.transformer import TransformerEncoder
-from repro.tensor import Tensor, cat, gelu
+from repro.tensor import Tensor, cat, gelu, is_grad_enabled
 
 
 class TaskHead(Module):
@@ -191,9 +191,21 @@ class VisionTransformer(Module):
         """Everything before the heads: returns normalized CLS embedding."""
         tokens = self.patch_embed(images)  # (B, P, D)
         batch = tokens.shape[0]
-        cls = self.cls_token.reshape(1, 1, self.config.dim)
-        cls = cls + Tensor(np.zeros((batch, 1, self.config.dim), dtype=np.float32))
-        x = cat([cls, tokens], axis=1) + self.pos_embed
+        if not is_grad_enabled():
+            # Inference fast path: assemble [cls | tokens] + pos directly
+            # into one buffer instead of broadcast + cat + add temporaries.
+            cfg = self.config
+            buf = np.empty((batch, cfg.num_tokens, cfg.dim),
+                           dtype=tokens.data.dtype)
+            pos = self.pos_embed.data
+            np.add(self.cls_token.data.reshape(1, 1, cfg.dim), pos[:, :1],
+                   out=buf[:, :1])
+            np.add(tokens.data, pos[:, 1:], out=buf[:, 1:])
+            x = Tensor(buf)
+        else:
+            cls = self.cls_token.reshape(1, 1, self.config.dim)
+            cls = cls + Tensor(np.zeros((batch, 1, self.config.dim), dtype=np.float32))
+            x = cat([cls, tokens], axis=1) + self.pos_embed
         x = self.drop(x)
         x = self.encoder(x)
         x = self.norm(x)

@@ -20,6 +20,7 @@ manifest as ``BENCH_*.json`` for ``repro obs report/trace/compare``.
 
 from repro.obs.registry import (
     Counter,
+    Distribution,
     Histogram,
     Registry,
     Span,
@@ -41,6 +42,7 @@ from repro.obs.telemetry import (
 
 __all__ = [
     "Counter",
+    "Distribution",
     "Histogram",
     "Registry",
     "Span",

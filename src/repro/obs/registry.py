@@ -2,10 +2,12 @@
 
 Three layers, all stdlib-only:
 
-* **Timers/counters** — a :class:`Timer` accumulates wall-clock durations
-  per named stage (count/total/min/max plus a streaming log-bucket
-  :class:`Histogram` for p50/p90/p99); a :class:`Counter` accumulates
-  event counts.
+* **Timers/counters/distributions** — a :class:`Timer` accumulates
+  wall-clock durations per named stage (count/total/min/max plus a
+  streaming log-bucket :class:`Histogram` for p50/p90/p99); a
+  :class:`Counter` accumulates event counts; a :class:`Distribution`
+  accumulates a stream of plain values (engine batch sizes, queue
+  depths) behind the same percentile histogram.
 * **Spans** — ``with registry.span("detect.total", task="...") as sp:``
   opens a hierarchical span.  Spans nest through a thread-local stack, so
   a stage timed inside another stage becomes its child automatically;
@@ -45,6 +47,7 @@ from typing import Any, Callable, Dict, Iterator, List, Optional
 
 __all__ = [
     "Counter",
+    "Distribution",
     "Histogram",
     "Registry",
     "Span",
@@ -193,6 +196,63 @@ class Counter:
             self.value += amount
 
 
+@dataclasses.dataclass
+class Distribution:
+    """Accumulated statistics of a dimensionless value stream.
+
+    Where a :class:`Timer` summarizes durations, a Distribution
+    summarizes *values* the hot path observes — engine batch sizes,
+    queue depths, candidate counts — with the same constant-memory
+    log-bucket :class:`Histogram` behind p50/p90/p99.  The bucket grid
+    spans roughly ``[1e-7, 1e2]``; values outside saturate the edge
+    buckets, but ``min``/``max`` stay exact and percentiles are clamped
+    to them, so small-integer streams (the intended use) lose at most
+    the histogram's ~12 % bucket error.
+    """
+
+    name: str
+    count: int = 0
+    total: float = 0.0
+    min: float = math.inf
+    max: float = 0.0
+    last: float = 0.0
+    histogram: Histogram = dataclasses.field(default_factory=Histogram,
+                                             repr=False, compare=False)
+    _lock: threading.Lock = dataclasses.field(default_factory=threading.Lock,
+                                              repr=False, compare=False)
+
+    def record(self, value: float) -> None:
+        value = float(value)
+        with self._lock:
+            self.count += 1
+            self.total += value
+            self.min = min(self.min, value)
+            self.max = max(self.max, value)
+            self.last = value
+            self.histogram.record(value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        return self.histogram.percentile(q)
+
+    def stats(self) -> Dict[str, float]:
+        """Strict-JSON stats dict (never emits ``Infinity``)."""
+        return {
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "min": self.min if self.count else 0.0,
+            "max": self.max,
+            "last": self.last,
+            "p50": self.percentile(50.0),
+            "p90": self.percentile(90.0),
+            "p99": self.percentile(99.0),
+        }
+
+
 # ----------------------------------------------------------------------
 # Spans
 # ----------------------------------------------------------------------
@@ -262,6 +322,7 @@ class Registry:
         self.max_spans = max_spans
         self._timers: Dict[str, Timer] = {}
         self._counters: Dict[str, Counter] = {}
+        self._distributions: Dict[str, Distribution] = {}
         self._spans: List[Span] = []
         self._dropped_spans = 0
         self._lock = threading.Lock()
@@ -290,6 +351,15 @@ class Registry:
                     counter = self._counters[name] = Counter(name)
         return counter
 
+    def distribution(self, name: str) -> Distribution:
+        dist = self._distributions.get(name)
+        if dist is None:
+            with self._lock:
+                dist = self._distributions.get(name)
+                if dist is None:
+                    dist = self._distributions[name] = Distribution(name)
+        return dist
+
     @property
     def timers(self) -> Dict[str, Timer]:
         with self._lock:
@@ -299,6 +369,11 @@ class Registry:
     def counters(self) -> Dict[str, Counter]:
         with self._lock:
             return dict(self._counters)
+
+    @property
+    def distributions(self) -> Dict[str, Distribution]:
+        with self._lock:
+            return dict(self._distributions)
 
     @property
     def spans(self) -> List[Span]:
@@ -362,6 +437,11 @@ class Registry:
         if self.enabled:
             self.counter(name).add(amount)
 
+    def observe(self, name: str, value: float) -> None:
+        """Record one sample of a value stream (queue depth, batch size)."""
+        if self.enabled:
+            self.distribution(name).record(value)
+
     def traced(self, name: Optional[str] = None) -> Callable:
         """Decorator timing every call to the wrapped function.
 
@@ -395,6 +475,9 @@ class Registry:
             return {
                 "timers": {n: t.stats() for n, t in self._timers.items()},
                 "counters": {n: c.value for n, c in self._counters.items()},
+                "distributions": {
+                    n: d.stats() for n, d in self._distributions.items()
+                },
             }
 
     def telemetry_snapshot(self) -> Dict[str, Any]:
@@ -439,12 +522,30 @@ class Registry:
             for c in counters:
                 amount = int(c.value) if float(c.value).is_integer() else c.value
                 lines.append(f"{c.name.ljust(width)} | {amount}")
+        distributions = sorted(self.distributions.values(),
+                               key=lambda d: d.name)
+        if distributions:
+            width = max(len(d.name) for d in distributions)
+            lines.append("-- distributions --")
+            lines.append(
+                f"{'name'.ljust(width)} | {'count':>6} | {'mean':>8} | "
+                f"{'p50':>8} | {'p99':>8} | {'min':>8} | {'max':>8}"
+            )
+            for d in distributions:
+                stats = d.stats()
+                lines.append(
+                    f"{d.name.ljust(width)} | {d.count:>6d} | "
+                    f"{stats['mean']:>8.2f} | {stats['p50']:>8.2f} | "
+                    f"{stats['p99']:>8.2f} | {stats['min']:>8.2f} | "
+                    f"{stats['max']:>8.2f}"
+                )
         return "\n".join(lines)
 
     def reset(self) -> None:
         with self._lock:
             self._timers.clear()
             self._counters.clear()
+            self._distributions.clear()
             self._spans.clear()
             self._dropped_spans = 0
             self._epoch = time.perf_counter()

@@ -1,0 +1,38 @@
+"""Session-oriented, batch-first serving for the detect path.
+
+The ROADMAP's north star is a system serving heavy traffic, and this
+package is its execution engine, in three layers:
+
+* :class:`MissionSession` — one *prepared* mission (knowledge graph,
+  refinement, matcher plans, selected configuration, detector) reused
+  across requests, held in an LRU :class:`SessionCache` so repeated
+  missions never re-run LLM extraction or configuration selection;
+* batch-first dataflow — sessions expose
+  :meth:`MissionSession.detect_batch`, which fuses many scenes' windows
+  into one model forward and one knowledge-graph match
+  (:meth:`repro.detect.TaskDetector.detect_batch`);
+* :class:`DetectionEngine` — a bounded-queue worker pool that
+  micro-batches individually submitted scenes (flush at ``max_batch``
+  scenes or after ``flush_ms``), applies backpressure when the queue is
+  full, shuts down gracefully, and returns results in submission order.
+
+:class:`repro.core.ITaskPipeline` stays the friendly facade: it now
+routes ``prepare``/``detect``/``evaluate`` through this cache and hands
+out sessions via ``pipeline.session(spec)``.
+"""
+
+from repro.serve.session import MissionSession, SessionCache, mission_fingerprint
+from repro.serve.engine import (
+    DetectionEngine,
+    EngineClosed,
+    EngineConfig,
+)
+
+__all__ = [
+    "MissionSession",
+    "SessionCache",
+    "mission_fingerprint",
+    "DetectionEngine",
+    "EngineClosed",
+    "EngineConfig",
+]

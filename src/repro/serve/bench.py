@@ -1,0 +1,190 @@
+"""Serving-engine throughput workload.
+
+Shared by ``benchmarks/bench_e11_throughput.py`` (which persists
+telemetry and gates CI) and the ``repro engine bench`` CLI subcommand.
+The workload is the paper's serving scenario: one mission, a stream of
+small edge scenes, and three execution strategies over the *same*
+detector —
+
+* ``percall_rebuild`` — the seed behavior: every ``detect()`` re-runs
+  mission preparation (LLM graph extraction, refinement, selection,
+  detector construction) and then scans one scene;
+* ``percall_cached`` — the session fix alone: preparation cached, but
+  still one scene per forward;
+* ``engine`` — cached session plus the micro-batching engine fusing
+  windows across scenes into shared forwards.
+
+Models are fresh untrained students (weights do not affect timing), so
+the workload is stateless — no artifact cache involved.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.configurations import (
+    QuantizedConfiguration,
+    TaskSpecificConfiguration,
+)
+from repro.core.pipeline import ITaskPipeline
+from repro.core.taskspec import TaskSpec
+from repro.data import (
+    SceneConfig,
+    SceneGenerator,
+    attribute_head_spec,
+    get_task,
+    sample_profile,
+)
+from repro.data.datasets import num_classes
+from repro.kg import SimulatedLLM
+from repro.nn import VisionTransformer, ViTConfig
+from repro.serve.engine import EngineConfig
+
+TASK_NAME = "roadside_hazards"
+
+
+def build_workload(
+    num_scenes: int = 64, grid: int = 3, seed: int = 7,
+) -> Tuple[ITaskPipeline, TaskSpec, List]:
+    """Pipeline + mission + scene stream for the throughput runs.
+
+    The mission is few-shot — the paper's central serving scenario — so
+    every per-call rebuild repeats LLM extraction *and* support-example
+    refinement, exactly as the seed's per-call ``detect()`` did.  The
+    pipeline carries one float specialist registered under the refined
+    mission graph, so selection always picks it — both the per-call
+    baseline and the engine then drive the identical model and matcher,
+    and the quantized placeholder is never deployed.
+    """
+    task = get_task(TASK_NAME)
+    config = ViTConfig.student(num_classes(), attribute_head_spec())
+    model = VisionTransformer(config, rng=np.random.default_rng(0))
+    specialist = TaskSpecificConfiguration(
+        name=f"specialist:{task.name}", kind="task_specific",
+        student=model, task_name=task.name)
+    placeholder = QuantizedConfiguration(
+        name="quantized:placeholder", kind="quantized", quantized=None)
+    pipeline = ITaskPipeline(placeholder, specialists={task.name: specialist})
+
+    rng = np.random.default_rng(seed)
+    positives, negatives = [], []
+    while len(positives) < 4 or len(negatives) < 4:
+        profile = sample_profile(rng)
+        (positives if task.matches(profile) else negatives).append(profile)
+    spec = TaskSpec.from_definition(task, support_positives=positives[:4],
+                                    support_negatives=negatives[:4])
+    # Register under the refined graph (build_kg is deterministic), so
+    # selector similarity is exactly 1.0 and the specialist always wins.
+    pipeline.selector.register_specialist(task.name, pipeline.build_kg(spec))
+    scenes = SceneGenerator(SceneConfig(grid=grid),
+                            seed=seed).generate_batch(num_scenes)
+    return pipeline, spec, list(scenes)
+
+
+def _interleaved_rounds(repeats: int, tasks: Sequence) -> List[List[float]]:
+    """Per-task timing samples with rounds interleaved across all tasks.
+
+    Single-core boxes drift (thermal, noisy neighbours); measuring mode A
+    repeatedly and then mode B confounds the ratio with the drift.  Round
+    robin keeps every mode's samples spread over the same wall-clock span,
+    and per-round ratios (mode vs baseline measured seconds apart) cancel
+    the drift that absolute best-of numbers cannot.
+    """
+    samples: List[List[float]] = [[] for _ in tasks]
+    for _ in range(repeats):
+        for i, fn in enumerate(tasks):
+            start = time.perf_counter()
+            fn()
+            samples[i].append(time.perf_counter() - start)
+    return samples
+
+
+def run_throughput(
+    num_scenes: int = 64,
+    grid: int = 3,
+    batch_sizes: Sequence[int] = (1, 8, 32),
+    workers: Sequence[int] = (1, 2),
+    repeats: int = 3,
+    seed: int = 7,
+    flush_ms: float = 20.0,
+) -> List[Dict]:
+    """Measure scenes/sec for each strategy; returns result rows.
+
+    Every row carries ``scenes_per_s`` plus its speedup over the
+    ``percall_rebuild`` baseline (the seed's per-call semantics).  The
+    engine rows sweep ``max_batch`` × ``workers``.  ``flush_ms`` is kept
+    high because the benchmark saturates the queue up front — flushes
+    trigger on ``max_batch``, not the timer.
+    """
+    pipeline, spec, scenes = build_workload(num_scenes, grid, seed)
+
+    # Correctness gate first: the engine must reproduce per-scene detect.
+    session = pipeline.session(spec)
+    sequential = [session.detect(scene) for scene in scenes]
+    with session.engine(EngineConfig(max_batch=8, queue_size=max(64, num_scenes))) as engine:
+        fused = engine.detect_many(scenes)
+    for left, right in zip(sequential, fused):
+        assert [d.bbox for d in left] == [d.bbox for d in right], \
+            "engine diverged from per-scene detection"
+        np.testing.assert_allclose([d.score for d in left],
+                                   [d.score for d in right], rtol=1e-5)
+
+    def percall_rebuild() -> None:
+        for scene in scenes:
+            pipeline.sessions.clear()   # seed semantics: prepare every call
+            pipeline.detect(spec, scene)
+
+    def percall_cached() -> None:
+        for scene in scenes:
+            pipeline.detect(spec, scene)
+
+    def engine_pass(config: EngineConfig):
+        def run() -> None:
+            with session.engine(config) as eng:
+                eng.detect_many(scenes)
+        return run
+
+    tasks = [("percall_rebuild", None, None, percall_rebuild),
+             ("percall_cached", None, None, percall_cached)]
+    for nworkers in workers:
+        for batch in batch_sizes:
+            config = EngineConfig(max_batch=batch, flush_ms=flush_ms,
+                                  workers=nworkers,
+                                  queue_size=max(64, num_scenes))
+            tasks.append(("engine", batch, nworkers, engine_pass(config)))
+
+    for _, _, _, fn in tasks:   # warm every mode once before timing
+        fn()
+    samples = _interleaved_rounds(repeats, [fn for _, _, _, fn in tasks])
+
+    rows: List[Dict] = []
+    baseline_rounds = samples[0]
+    for (mode, batch, nworkers, _), rounds in zip(tasks, samples):
+        best = min(rounds)
+        # Speedup = median of per-round ratios against the baseline round
+        # measured moments earlier, so machine drift cancels out.
+        ratios = sorted(b / r for b, r in zip(baseline_rounds, rounds))
+        mid = len(ratios) // 2
+        speedup = (ratios[mid] if len(ratios) % 2
+                   else 0.5 * (ratios[mid - 1] + ratios[mid]))
+        rows.append({
+            "mode": mode,
+            "batch": batch,
+            "workers": nworkers,
+            "scenes_per_s": num_scenes / best,
+            "ms_per_scene": best / num_scenes * 1e3,
+            "speedup_vs_percall": speedup,
+        })
+    return rows
+
+
+def best_engine_speedup(rows: Sequence[Dict], min_batch: int = 8) -> float:
+    """Best engine speedup over the per-call baseline at batch >= min_batch."""
+    candidates = [
+        row["speedup_vs_percall"] for row in rows
+        if row["mode"] == "engine" and (row["batch"] or 0) >= min_batch
+    ]
+    return max(candidates) if candidates else 0.0

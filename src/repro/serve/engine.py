@@ -1,0 +1,231 @@
+"""Micro-batching detection engine: queue, workers, backpressure.
+
+Serving traffic arrives one scene at a time, but the batch-first
+dataflow (``TaskDetector.detect_batch``) is cheapest when many scenes
+share one model forward.  The :class:`DetectionEngine` bridges the two:
+
+* :meth:`DetectionEngine.submit` enqueues a scene on a **bounded** queue
+  and returns a future — when the queue is full the call blocks, which
+  is the backpressure signal (producers slow to the engine's pace
+  instead of growing an unbounded backlog);
+* worker threads drain the queue into micro-batches, flushing when
+  ``max_batch`` scenes are pending or ``flush_ms`` after the first
+  scene of a batch arrived — the classic latency/throughput knob pair;
+* :meth:`DetectionEngine.detect_many` submits a whole scene list and
+  gathers results **in submission order**, independent of how workers
+  interleave, so callers see deterministic ordering;
+* :meth:`DetectionEngine.close` (or the context manager) drains
+  outstanding work, then stops the workers.
+
+Observability: every flush records the ``engine.batch_size`` and
+``engine.queue_depth`` distributions, ``engine.queue_wait`` (time from
+submit to flush) and ``engine.batch`` timers, and the
+``engine.{scenes,batches}`` counters — all visible in
+``repro obs report`` and the ``BENCH_*.json`` telemetry.
+
+Determinism: batch *composition* depends on arrival timing, so only a
+batch-invariant model makes concurrent results bit-identical to
+sequential ones.  The quantized (integer) configuration is exactly
+batch-invariant; float models agree on boxes/order with scores equal to
+within an ulp or two (see ``TaskDetector.detect_batch``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import queue
+import threading
+import time
+from concurrent.futures import Future
+from typing import TYPE_CHECKING, List, Optional, Sequence
+
+from repro.obs import get_registry
+
+if TYPE_CHECKING:
+    from repro.data.scenes import Scene
+    from repro.detect.pipeline import Detection
+    from repro.serve.session import MissionSession
+
+
+class EngineClosed(RuntimeError):
+    """Raised by ``submit`` after the engine has been closed."""
+
+
+@dataclasses.dataclass(frozen=True)
+class EngineConfig:
+    """Micro-batching knobs.
+
+    ``max_batch``
+        Flush as soon as this many scenes are pending in one batch.
+    ``flush_ms``
+        Flush a partial batch this many milliseconds after its first
+        scene arrived (tail-latency bound for sparse traffic).
+    ``workers``
+        Worker threads.  More workers overlap batches; on a single core
+        they trade latency for fairness rather than adding throughput.
+    ``queue_size``
+        Bound of the submit queue — the backpressure depth.
+    """
+
+    max_batch: int = 8
+    flush_ms: float = 2.0
+    workers: int = 1
+    queue_size: int = 64
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if self.flush_ms < 0.0:
+            raise ValueError("flush_ms must be >= 0")
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        if self.queue_size < 1:
+            raise ValueError("queue_size must be >= 1")
+
+
+class _Job:
+    __slots__ = ("scene", "stride", "future", "enqueued_s")
+
+    def __init__(self, scene: "Scene", stride: Optional[int]) -> None:
+        self.scene = scene
+        self.stride = stride
+        self.future: "Future[List[Detection]]" = Future()
+        self.enqueued_s = time.perf_counter()
+
+
+_SENTINEL = object()
+
+
+class DetectionEngine:
+    """Bounded-queue micro-batching worker pool over one session."""
+
+    def __init__(self, session: "MissionSession",
+                 config: Optional[EngineConfig] = None) -> None:
+        self.session = session
+        self.config = config or EngineConfig()
+        self._queue: "queue.Queue[object]" = queue.Queue(
+            maxsize=self.config.queue_size)
+        self._closed = False
+        self._close_lock = threading.Lock()
+        self._workers = [
+            threading.Thread(target=self._worker_loop,
+                             name=f"repro-engine-{i}", daemon=True)
+            for i in range(self.config.workers)
+        ]
+        for worker in self._workers:
+            worker.start()
+
+    # -- submission ----------------------------------------------------
+    def submit(self, scene: "Scene",
+               stride: Optional[int] = None) -> "Future[List[Detection]]":
+        """Enqueue one scene; blocks when the queue is full (backpressure)."""
+        if self._closed:
+            raise EngineClosed("engine is closed")
+        get_registry().observe("engine.queue_depth", self._queue.qsize())
+        job = _Job(scene, stride)
+        self._queue.put(job)
+        return job.future
+
+    def detect_many(self, scenes: Sequence["Scene"],
+                    stride: Optional[int] = None) -> List[List["Detection"]]:
+        """Submit scenes and gather results in submission order.
+
+        Ordering is deterministic regardless of worker interleaving:
+        results are collected from the submission-ordered futures, not
+        from completion order.
+        """
+        futures = [self.submit(scene, stride=stride) for scene in scenes]
+        return [future.result() for future in futures]
+
+    # -- lifecycle -----------------------------------------------------
+    def close(self, wait: bool = True) -> None:
+        """Stop accepting work; drain the queue, then stop the workers.
+
+        Jobs already queued are still executed (graceful shutdown) —
+        their futures complete before the workers exit.
+        """
+        with self._close_lock:
+            if self._closed:
+                if wait:
+                    for worker in self._workers:
+                        worker.join()
+                return
+            self._closed = True
+        for _ in self._workers:
+            self._queue.put(_SENTINEL)
+        if wait:
+            for worker in self._workers:
+                worker.join()
+            # A submit() racing close() can slip a job in behind the
+            # sentinels; fail it rather than leaving its future hanging.
+            while True:
+                try:
+                    item = self._queue.get_nowait()
+                except queue.Empty:
+                    break
+                if item is not _SENTINEL and not item.future.done():
+                    item.future.set_exception(
+                        EngineClosed("engine closed before scene was served"))
+
+    def __enter__(self) -> "DetectionEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close(wait=True)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    # -- workers -------------------------------------------------------
+    def _worker_loop(self) -> None:
+        cfg = self.config
+        while True:
+            head = self._queue.get()
+            if head is _SENTINEL:
+                return
+            batch: List[_Job] = [head]
+            deadline = time.perf_counter() + cfg.flush_ms / 1e3
+            saw_sentinel = False
+            while len(batch) < cfg.max_batch:
+                remaining = deadline - time.perf_counter()
+                if remaining <= 0.0:
+                    break
+                try:
+                    item = self._queue.get(timeout=remaining)
+                except queue.Empty:
+                    break
+                if item is _SENTINEL:
+                    saw_sentinel = True
+                    break
+                batch.append(item)
+            self._flush(batch)
+            if saw_sentinel:
+                return
+
+    def _flush(self, batch: List[_Job]) -> None:
+        obs = get_registry()
+        now = time.perf_counter()
+        if obs.enabled:
+            obs.observe("engine.batch_size", len(batch))
+            obs.count("engine.batches")
+            obs.count("engine.scenes", len(batch))
+            wait_timer = obs.timer("engine.queue_wait")
+            for job in batch:
+                wait_timer.record(now - job.enqueued_s)
+        try:
+            with obs.span("engine.batch", scenes=len(batch)):
+                # Jobs may carry different strides; group per stride so
+                # each group still shares one fused forward.
+                by_stride: "dict[Optional[int], List[_Job]]" = {}
+                for job in batch:
+                    by_stride.setdefault(job.stride, []).append(job)
+                for stride, jobs in by_stride.items():
+                    results = self.session.detect_batch(
+                        [job.scene for job in jobs], stride=stride)
+                    for job, detections in zip(jobs, results):
+                        job.future.set_result(detections)
+        except BaseException as error:  # fail the whole batch, keep serving
+            for job in batch:
+                if not job.future.done():
+                    job.future.set_exception(error)

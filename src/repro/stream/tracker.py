@@ -11,14 +11,16 @@ ids across frames.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.data.datasets import background_class_id
 from repro.data.scenes import Scene
-from repro.detect.pipeline import ModelLike, predict_windows
+from repro.detect.pipeline import ModelLike, predict_windows, score_predictions
 from repro.kg.matcher import GraphMatcher
+
+if TYPE_CHECKING:
+    from repro.serve.session import MissionSession
 
 
 @dataclasses.dataclass(frozen=True)
@@ -65,31 +67,73 @@ class StreamingDetector:
         self._frame = -1
 
     # ------------------------------------------------------------------
-    def _cell_scores(self, scene: Scene) -> Dict[Tuple[int, int], float]:
-        windows = []
+    @classmethod
+    def from_session(cls, session: "MissionSession",
+                     config: TrackerConfig = TrackerConfig(),
+                     batch_size: int = 64) -> "StreamingDetector":
+        """Build a tracker on a prepared mission session's model + matcher."""
+        detector = session.detector
+        return cls(detector.model, detector.matcher, config=config,
+                   batch_size=batch_size)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _cells_and_windows(scene: Scene) -> Tuple[List[Tuple[int, int]], List[np.ndarray]]:
         cells = []
+        windows = []
         for row, col, _bbox, window in scene.iter_cells():
-            windows.append(window)
             cells.append((row, col))
+            windows.append(window)
+        return cells, windows
+
+    def _cell_scores(self, scene: Scene) -> Dict[Tuple[int, int], float]:
+        cells, windows = self._cells_and_windows(scene)
         predictions = predict_windows(self.model, np.stack(windows),
                                       batch_size=self.batch_size)
-        objectness = 1.0 - predictions["class_probs"][:, background_class_id()]
-        if "task_probs" in predictions:
-            task_scores = predictions["task_probs"]
-        elif self.matcher is not None:
-            task_scores = self.matcher.match_distributions(
-                predictions["attribute_probs"]).score
-        else:
-            task_scores = np.ones_like(objectness)
-        combined = objectness * task_scores
+        # Same scoring rule as TaskDetector — one shared implementation.
+        _, _, combined = score_predictions(predictions, self.matcher)
         return dict(zip(cells, combined))
 
     # ------------------------------------------------------------------
     def update(self, scene: Scene) -> List[Track]:
         """Process one frame; returns the currently active tracks."""
+        return self._advance(self._cell_scores(scene))
+
+    def update_many(self, scenes: Sequence[Scene]) -> List[List[Track]]:
+        """Process a chunk of frames with one fused model forward.
+
+        The windows of every frame in the chunk are scored in a single
+        batched forward (the replay/offline-analysis fast path); the
+        temporal EMA + hysteresis state then advances frame by frame in
+        order, exactly as repeated :meth:`update` calls would.  Returns
+        each frame's active-track snapshot.
+        """
+        scenes = list(scenes)
+        if not scenes:
+            return []
+        per_frame_cells: List[List[Tuple[int, int]]] = []
+        all_windows: List[np.ndarray] = []
+        for scene in scenes:
+            cells, windows = self._cells_and_windows(scene)
+            per_frame_cells.append(cells)
+            all_windows.extend(windows)
+        predictions = predict_windows(self.model, np.stack(all_windows),
+                                      batch_size=self.batch_size)
+        _, _, combined = score_predictions(predictions, self.matcher)
+        snapshots: List[List[Track]] = []
+        start = 0
+        for cells in per_frame_cells:
+            stop = start + len(cells)
+            raw = dict(zip(cells, combined[start:stop]))
+            # copy: callers mutate nothing, but each frame needs its own list
+            snapshots.append(list(self._advance(raw)))
+            start = stop
+        return snapshots
+
+    def _advance(self, raw: Dict[Tuple[int, int], float]) -> List[Track]:
+        """Advance one frame of EMA + hysteresis from raw cell scores."""
         self._frame += 1
         cfg = self.config
-        raw = self._cell_scores(scene)
         for cell, score in raw.items():
             previous = self._ema.get(cell, score)
             self._ema[cell] = cfg.smoothing * previous + (1 - cfg.smoothing) * float(score)

@@ -553,5 +553,7 @@ class TestDisabledOverhead:
             with registry.span("s"):
                 pass
             registry.count("c", 2)
+            registry.observe("d", 5)
         assert registry.spans == []
-        assert registry.snapshot() == {"timers": {}, "counters": {}}
+        assert registry.snapshot() == {
+            "timers": {}, "counters": {}, "distributions": {}}
