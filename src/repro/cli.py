@@ -22,6 +22,10 @@ Commands
 ``engine bench``
     serving-engine throughput sweep: scenes/sec for per-call rebuild,
     cached session, and the micro-batching engine (batch x workers).
+``quant bench``
+    quantized-kernel latency: per-site exact BLAS GEMMs vs the int64
+    reference, plus the end-to-end quantized forward — asserting
+    bit-identical outputs before timing.
 ``obs {report,export,trace,compare}``
     the telemetry family: render a ``BENCH_*.json`` (manifest + per-stage
     p50/p90/p99 + counters), run an instrumented detection workload and
@@ -285,6 +289,32 @@ def _cmd_engine_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_quant_bench(args: argparse.Namespace) -> int:
+    from repro.quant.bench import run_forward_latency, run_kernel_latency
+
+    rows = run_kernel_latency(
+        rows_per_gemm=args.rows, repeats=args.repeats,
+        weight_bits=args.weight_bits, act_bits=args.act_bits,
+        seed=args.seed)
+    print(f"{'site':<18} | {'m':>5} | {'k':>4} | {'n':>4} | "
+          f"{'gemm':>7} | {'fast ms':>8} | {'int64 ms':>8} | {'speedup':>8}")
+    for row in rows:
+        print(f"{row['site']:<18} | {row['m']:>5} | {row['k']:>4} | "
+              f"{row['n']:>4} | {row['gemm_dtype']:>7} | "
+              f"{row['fast_ms']:>8.3f} | {row['reference_ms']:>8.3f} | "
+              f"{row['speedup']:>7.2f}x")
+    forward_rows, speedup = run_forward_latency(
+        batch_images=args.batch_images, repeats=args.repeats,
+        weight_bits=args.weight_bits, act_bits=args.act_bits)
+    fast = next(r for r in forward_rows if r["mode"] == "blas_fast")
+    ref = next(r for r in forward_rows if r["mode"] == "int64_reference")
+    print(f"\nend-to-end forward (batch={fast['batch_images']}): "
+          f"fast {fast['ms_per_batch']:.1f} ms vs int64 reference "
+          f"{ref['ms_per_batch']:.1f} ms -> {speedup:.2f}x "
+          f"(outputs bit-identical)")
+    return 0
+
+
 def _cmd_obs_export(args: argparse.Namespace) -> int:
     import numpy as np
 
@@ -439,6 +469,23 @@ def build_parser() -> argparse.ArgumentParser:
     engine_bench.add_argument("--workers", default="1,2",
                               help="comma-separated engine worker sweep")
     engine_bench.set_defaults(func=_cmd_engine_bench)
+
+    quant = sub.add_parser(
+        "quant", help="quantized-inference utilities (exact BLAS kernels)")
+    quant_sub = quant.add_subparsers(dest="quant_command", required=True)
+    quant_bench = quant_sub.add_parser(
+        "bench",
+        help="per-site and end-to-end latency: exact BLAS vs int64 reference")
+    quant_bench.add_argument("--rows", type=int, default=4096,
+                             help="activation rows per site GEMM")
+    quant_bench.add_argument("--batch-images", type=int, default=256,
+                             help="images in the end-to-end forward batch")
+    quant_bench.add_argument("--repeats", type=int, default=5,
+                             help="interleaved timing rounds")
+    quant_bench.add_argument("--weight-bits", type=int, default=8)
+    quant_bench.add_argument("--act-bits", type=int, default=8)
+    quant_bench.add_argument("--seed", type=int, default=0)
+    quant_bench.set_defaults(func=_cmd_quant_bench)
 
     obs = sub.add_parser(
         "obs", help="benchmark telemetry: report, export, trace, compare")

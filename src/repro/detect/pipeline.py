@@ -12,6 +12,12 @@ distributions as plain numpy arrays.
     score(window) = P(object) · kg_match(attribute distributions)
 
 and emits :class:`Detection` records above threshold, after NMS.
+
+The quantized configuration's forwards run on the exact BLAS-backed
+integer kernels (:class:`~repro.quant.QuantizedLinear`): bit-identical
+to the int64 reference arithmetic, and exactly batch-invariant — so
+fused multi-scene forwards through :meth:`TaskDetector.detect_batch`
+reproduce per-scene results bit for bit.
 """
 
 from __future__ import annotations

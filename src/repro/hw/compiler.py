@@ -57,8 +57,10 @@ class Compiler:
         memory = MemoryModel(self.config)
         program = Program(name=f"{cfg.depth}x{cfg.dim}-vit-b{batch}", batch=batch)
 
+        # Packed footprint: sub-byte weights round up to whole bytes per
+        # layer (matches QuantizedVisionTransformer.model_size_bytes).
         total_weight_bytes = sum(
-            layer.weight_q.size * layer.weight_bits // 8
+            (layer.weight_q.size * layer.weight_bits + 7) // 8
             for layer in model.layers.values()
         )
         weights_resident = pin_weights and memory.weights_fit(total_weight_bytes)

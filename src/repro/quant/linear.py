@@ -2,7 +2,7 @@
 
 ``QuantizedLinear`` stores int weights (per-output-channel symmetric by
 default) and quantizes activations on the fly with frozen per-tensor
-parameters.  The matmul itself runs in integer arithmetic with an int32
+parameters.  The matmul semantics are integer arithmetic with an int32
 accumulator — exactly what the systolic array in :mod:`repro.hw` does —
 followed by a float requantization:
 
@@ -10,10 +10,37 @@ followed by a float requantization:
 
 The zero-point correction term ``z_x · Σ_k W_q`` is precomputed per
 channel, as a deployment compiler would.
+
+Execution strategy — exact BLAS-backed GEMMs
+--------------------------------------------
+numpy integer matmul never dispatches to BLAS: ``int64 @ int64`` runs a
+naive inner loop an order of magnitude slower than the float path.  But
+quantized codes are *small* integers (|q| ≤ 2¹⁶ for every spec this
+repo supports), so the int32 accumulator can be computed **exactly** in
+float arithmetic: every product and every partial sum is an integer of
+magnitude ≤ K · max|x_q| · max|W_q|, and IEEE floats represent all
+integers up to their mantissa capacity (2⁵³ for float64, 2²⁴ for
+float32) without rounding.  At construction the layer
+
+* asserts ``2 · K · amax · wmax < 2^53`` from the spec (raising
+  ``ValueError`` when a spec/shape combination could overflow the
+  float64 accumulator — it cannot for any bit width ≤ 16 at realistic
+  K), and
+* prepacks the transposed weight as a contiguous float buffer —
+  float32 when ``K · amax · wmax ≤ 2^24`` makes the narrower GEMM exact
+  too (about 3x faster again), float64 otherwise.
+
+``forward_integer`` then runs one BLAS GEMM over the float codes and
+requantizes with constants fused at construction.  The original int64
+matmul is kept verbatim as :meth:`forward_integer_reference` — the
+bit-exactness oracle that property tests assert against, also
+selectable at runtime via ``REPRO_QUANT_EXACT=1`` as an escape hatch.
 """
 
 from __future__ import annotations
 
+import os
+import threading
 from typing import Optional
 
 import numpy as np
@@ -26,6 +53,24 @@ from repro.quant.qparams import (
     compute_qparams,
     quantize_array,
 )
+
+# Largest integer magnitudes exactly accumulable without rounding.
+_F64_EXACT_BOUND = 2 ** 53
+_F32_EXACT_BOUND = 2 ** 24
+
+# Rows-per-block budget (in elements) for the chunked elementwise
+# passes: the float64 quantize/requant intermediates are streamed
+# through a ~256 KiB scratch block that stays cache-resident instead of
+# being materialised at full batch size, which would round-trip several
+# MiB of float64 through memory per site.  Chunking is invisible to the
+# results — every pass is elementwise, so blocking cannot change a bit.
+_CHUNK_ELEMS = 32 * 1024
+
+
+def _reference_requested() -> bool:
+    """``REPRO_QUANT_EXACT=1`` routes every forward through the int64
+    reference kernel (escape hatch; the BLAS path is provably exact)."""
+    return os.environ.get("REPRO_QUANT_EXACT", "") == "1"
 
 
 class QuantizedLinear:
@@ -49,7 +94,10 @@ class QuantizedLinear:
             raise ValueError("per-channel scale count must equal out_features")
         if act_params.spec.per_channel:
             raise ValueError("activation quantization must be per-tensor")
-        self.weight_q = weight_q.astype(np.int32)
+        # Codes live in the spec's storage dtype (int8/uint8/int16/uint16),
+        # the footprint a deployment actually ships.
+        self.weight_q = np.ascontiguousarray(
+            weight_q.astype(weight_params.spec.storage_dtype()))
         self.weight_params = weight_params
         self.act_params = act_params
         self.bias = None if bias is None else np.asarray(bias, dtype=np.float64)
@@ -57,7 +105,53 @@ class QuantizedLinear:
         self._weight_scale = np.asarray(weight_params.scale, dtype=np.float64).reshape(-1)
         self._act_scale = float(np.asarray(act_params.scale).reshape(()))
         self._act_zero = int(np.asarray(act_params.zero_point).reshape(()))
-        self._weight_col_sum = self.weight_q.sum(axis=1).astype(np.int64)
+        self._weight_col_sum = self.weight_q.sum(axis=1, dtype=np.int64)
+        # ---- fused requant vectors -----------------------------------
+        # y = acc_f · (s_x · s_w)  −  (z_x · Σ_k W_q) · (s_x · s_w) + b,
+        # with the subtraction applied on the exact integer accumulator
+        # (identical op order to the reference, so outputs are
+        # bit-identical).
+        self._requant_scale = self._act_scale * self._weight_scale
+        self._zp_correction = (
+            self._act_zero * self._weight_col_sum).astype(np.float64)
+        # ---- exactness bound + prepacked BLAS weight -----------------
+        k = self.weight_q.shape[1]
+        act_spec = act_params.spec
+        amax = max(abs(act_spec.qmin), abs(act_spec.qmax), abs(self._act_zero))
+        # The hot path runs the GEMM over zero-point-*shifted* codes
+        # (q − z_x), so the accumulator directly equals the corrected sum
+        # acc − z_x·ΣW — no requant subtraction pass needed.  Shifted
+        # codes can be larger in magnitude than raw ones, so the bound
+        # covers both entry points.
+        self._shift_qmin = float(act_spec.qmin - self._act_zero)
+        self._shift_qmax = float(act_spec.qmax - self._act_zero)
+        amax = max(amax, abs(int(self._shift_qmin)), abs(int(self._shift_qmax)))
+        wmax = int(np.abs(self.weight_q.astype(np.int64)).max()) if self.weight_q.size else 0
+        # GEMM partial sums are ≤ K·amax·wmax; the zero-point correction
+        # subtraction doubles the representable range needed.
+        if 2 * k * amax * wmax >= _F64_EXACT_BOUND:
+            raise ValueError(
+                f"quantized GEMM not exactly representable in float64: "
+                f"2·K·amax·wmax = 2·{k}·{amax}·{wmax} >= 2^53; "
+                f"reduce bit width or in_features")
+        self._gemm_dtype = (
+            np.float32 if k * amax * wmax <= _F32_EXACT_BOUND else np.float64)
+        self._packed_weight = np.ascontiguousarray(
+            self.weight_q.T.astype(self._gemm_dtype))
+        # Per-thread scratch buffers (codes / accumulator / requant
+        # intermediate), keyed by row count.  Cycling three multi-MB
+        # allocations per call costs more than the GEMM itself on this
+        # machine; reuse keeps the pages hot.  Thread-local because the
+        # serving engine may run concurrent workers over one model.
+        self._scratch = threading.local()
+        # When True, ``__call__`` returns a scratch buffer that the NEXT
+        # same-shape call overwrites.  Only safe for callers that fully
+        # consume the result before invoking the layer again —
+        # :func:`~repro.quant.vit.quantize_vit` enables it for hidden
+        # sites (their outputs die inside one ``_vit_forward`` pass) and
+        # keeps it off for head sites, whose outputs the detect path
+        # accumulates across chunked forwards.
+        self.reuse_output = False
 
     # ------------------------------------------------------------------
     @property
@@ -86,13 +180,170 @@ class QuantizedLinear:
     # ------------------------------------------------------------------
     def quantize_input(self, x: np.ndarray) -> np.ndarray:
         """Activations → integer codes with the frozen act parameters."""
-        return quantize_array(x, self.act_params).astype(np.int32)
+        return quantize_array(x, self.act_params)
+
+    def _scratch_for(self, m: int) -> dict:
+        """Reusable per-thread buffers for ``m``-row forwards.
+
+        ``q`` (float64 codes), ``codes`` (float32 codes, narrow-GEMM path
+        only), ``acc`` (GEMM output), ``y`` (float64 requant
+        intermediate) and ``out`` (float32 result, handed out only under
+        :attr:`reuse_output`).  Every buffer is fully overwritten before
+        it is read on each call, so reuse cannot leak state between
+        batches — outputs stay bit-identical and batch-invariant.
+        """
+        store = self._scratch.__dict__.setdefault("buffers", {})
+        bufs = store.get(m)
+        if bufs is None:
+            if len(store) >= 8:   # bound memory if callers vary shapes
+                store.clear()
+            n, k = self.weight_q.shape
+            narrow = self._gemm_dtype is np.float32
+            # On the narrow path the float64 intermediates are
+            # chunk-sized scratch blocks (see ``_CHUNK_ELEMS``); on the
+            # wide path ``q`` feeds the GEMM directly and must hold the
+            # whole batch.
+            q_rows = min(m, max(1, _CHUNK_ELEMS // k)) if narrow else m
+            y_rows = min(m, max(1, _CHUNK_ELEMS // n))
+            bufs = {
+                "q": np.empty((q_rows, k), dtype=np.float64),
+                "codes": np.empty((m, k), dtype=np.float32) if narrow else None,
+                "acc": np.empty((m, n), dtype=self._gemm_dtype),
+                "y": np.empty((y_rows, n), dtype=np.float64) if narrow else None,
+                "out": np.empty((m, n), dtype=np.float32),
+            }
+            store[m] = bufs
+        return bufs
+
+    def _quantize_codes_shifted(self, x: np.ndarray) -> np.ndarray:
+        """Activations → zero-point-shifted codes (q − z_x) in the GEMM's
+        float dtype.
+
+        Same float64 round/clip arithmetic as :func:`quantize_array`
+        (codes equal :meth:`quantize_input` minus ``z_x``, bit for bit),
+        but with the zero-point folded into the clip bounds so the hot
+        path needs no add pass, no integer-storage round trip — and the
+        GEMM over shifted codes needs no correction subtraction at all.
+        """
+        bufs = self._scratch_for(x.shape[0])
+        if self._gemm_dtype is np.float32:
+            # Fuse the float32 cast into the rint pass: rounded codes
+            # within the clip range are integers ≤ 2^24, exact in
+            # float32; values outside round to something still outside,
+            # which the clip maps to the same bound either way.  The
+            # float64 quotient only ever lives in a cache-resident
+            # chunk; rint/clip run while that block is hot.
+            codes = bufs["codes"]
+            scratch = bufs["q"]
+            step = scratch.shape[0]
+            for start in range(0, x.shape[0], step):
+                stop = min(start + step, x.shape[0])
+                block = scratch[: stop - start]
+                np.divide(x[start:stop], self._act_scale, out=block,
+                          dtype=np.float64)
+                rounded = codes[start:stop]
+                np.rint(block, out=rounded, casting="same_kind")
+                np.clip(rounded, self._shift_qmin, self._shift_qmax,
+                        out=rounded)
+            return codes
+        q = np.divide(x, self._act_scale, out=bufs["q"], dtype=np.float64)
+        np.rint(q, out=q)
+        np.clip(q, self._shift_qmin, self._shift_qmax, out=q)
+        return q
+
+    def _forward_shifted(self, q: np.ndarray) -> np.ndarray:
+        """GEMM + requantization over zero-point-shifted float codes.
+
+        The accumulator over ``q − z_x`` is exactly the corrected integer
+        ``acc − z_x·Σ_k W_q`` (every partial sum is an integer within the
+        construction-time bound, hence exact in the GEMM dtype), so the
+        result is bit-identical to the reference:  the fused multiply
+        casts the exact integer accumulator to float64 and scales it in
+        one pass, matching the reference's op order.
+        """
+        bufs = self._scratch_for(q.shape[0])
+        acc = np.matmul(q, self._packed_weight, out=bufs["acc"])
+        out = (bufs["out"] if self.reuse_output
+               else np.empty(acc.shape, dtype=np.float32))
+        # Every multiply/add below computes in float64 (ufunc type
+        # resolution ignores the float32 ``out``) and casts on store, so
+        # the op order — and therefore every bit — matches the
+        # reference's astype(float64)·scale + bias → float32 chain.
+        if acc.dtype != np.float64:
+            if self.bias is None:
+                np.multiply(acc, self._requant_scale, out=out,
+                            casting="same_kind")
+            else:
+                scratch = bufs["y"]
+                step = scratch.shape[0]
+                for start in range(0, acc.shape[0], step):
+                    stop = min(start + step, acc.shape[0])
+                    block = scratch[: stop - start]
+                    np.multiply(acc[start:stop], self._requant_scale,
+                                out=block)
+                    np.add(block, self.bias, out=out[start:stop],
+                           casting="same_kind")
+        elif self.bias is None:
+            np.multiply(acc, self._requant_scale, out=out,
+                        casting="same_kind")
+        else:
+            acc *= self._requant_scale
+            np.add(acc, self.bias, out=out, casting="same_kind")
+        return out
 
     def forward_integer(self, x_q: np.ndarray) -> np.ndarray:
         """Integer GEMM + requantization from pre-quantized activations.
 
         ``x_q`` has shape (..., in_features), values already clipped to
-        the activation grid.
+        the activation grid.  Runs the exact BLAS-backed kernel; set
+        ``REPRO_QUANT_EXACT=1`` to route through the int64 reference.
+        """
+        if _reference_requested():
+            return self.forward_integer_reference(x_q)
+        if x_q.ndim != 2:
+            acc = x_q.astype(self._gemm_dtype, copy=False) @ self._packed_weight
+            if acc.dtype != np.float64:
+                acc = acc.astype(np.float64)  # exact: integer-valued floats
+            acc -= self._zp_correction
+            acc *= self._requant_scale
+            if self.bias is not None:
+                acc += self.bias
+            return acc.astype(np.float32)
+        bufs = self._scratch_for(x_q.shape[0])
+        narrow = self._gemm_dtype is np.float32
+        codes = bufs["codes"] if narrow else bufs["q"]
+        codes[...] = x_q    # integer storage → exact float codes
+        acc = np.matmul(codes, self._packed_weight, out=bufs["acc"])
+        out = np.empty(acc.shape, dtype=np.float32)
+        if narrow:
+            scratch = bufs["y"]
+            step = scratch.shape[0]
+            for start in range(0, acc.shape[0], step):
+                stop = min(start + step, acc.shape[0])
+                y = scratch[: stop - start]
+                y[...] = acc[start:stop]    # exact: integer-valued floats
+                y -= self._zp_correction
+                y *= self._requant_scale
+                if self.bias is None:
+                    out[start:stop] = y
+                else:
+                    np.add(y, self.bias, out=out[start:stop],
+                           casting="same_kind")
+            return out
+        y = acc
+        y -= self._zp_correction
+        y *= self._requant_scale
+        if self.bias is None:
+            out[...] = y
+        else:
+            np.add(y, self.bias, out=out, casting="same_kind")
+        return out
+
+    def forward_integer_reference(self, x_q: np.ndarray) -> np.ndarray:
+        """The seed int64 kernel, kept as the bit-exactness oracle.
+
+        Tests assert ``forward_integer`` reproduces this bit for bit;
+        it is also what ``REPRO_QUANT_EXACT=1`` deploys.
         """
         acc = x_q.astype(np.int64) @ self.weight_q.T.astype(np.int64)  # int accumulate
         acc = acc - self._act_zero * self._weight_col_sum
@@ -105,7 +356,10 @@ class QuantizedLinear:
         """Float in → float out, with integer compute in the middle."""
         original_shape = x.shape
         flat = x.reshape(-1, original_shape[-1])
-        y = self.forward_integer(self.quantize_input(flat))
+        if _reference_requested():
+            y = self.forward_integer_reference(self.quantize_input(flat))
+        else:
+            y = self._forward_shifted(self._quantize_codes_shifted(flat))
         return y.reshape(*original_shape[:-1], self.out_features)
 
     # ------------------------------------------------------------------

@@ -48,26 +48,48 @@ TASK_NAME = "roadside_hazards"
 
 def build_workload(
     num_scenes: int = 64, grid: int = 3, seed: int = 7,
+    configuration: str = "specialist",
 ) -> Tuple[ITaskPipeline, TaskSpec, List]:
     """Pipeline + mission + scene stream for the throughput runs.
 
     The mission is few-shot — the paper's central serving scenario — so
     every per-call rebuild repeats LLM extraction *and* support-example
-    refinement, exactly as the seed's per-call ``detect()`` did.  The
-    pipeline carries one float specialist registered under the refined
-    mission graph, so selection always picks it — both the per-call
-    baseline and the engine then drive the identical model and matcher,
-    and the quantized placeholder is never deployed.
+    refinement, exactly as the seed's per-call ``detect()`` did.
+
+    ``configuration`` picks the deployed model:
+
+    * ``"specialist"`` — one float specialist registered under the
+      refined mission graph, so selection always picks it (similarity
+      exactly 1.0) and the quantized placeholder is never deployed;
+    * ``"quantized"`` — no specialists at all: selection falls back to a
+      real w8a8 post-training-quantized copy of the same student, so the
+      stream exercises the integer BLAS kernels end to end.
     """
+    if configuration not in ("specialist", "quantized"):
+        raise ValueError(
+            f"configuration must be 'specialist' or 'quantized', "
+            f"got {configuration!r}")
     task = get_task(TASK_NAME)
     config = ViTConfig.student(num_classes(), attribute_head_spec())
     model = VisionTransformer(config, rng=np.random.default_rng(0))
-    specialist = TaskSpecificConfiguration(
-        name=f"specialist:{task.name}", kind="task_specific",
-        student=model, task_name=task.name)
-    placeholder = QuantizedConfiguration(
-        name="quantized:placeholder", kind="quantized", quantized=None)
-    pipeline = ITaskPipeline(placeholder, specialists={task.name: specialist})
+    if configuration == "quantized":
+        from repro.quant import quantize_vit
+
+        calibration = np.random.default_rng(1).random(
+            (32, config.in_channels, config.image_size, config.image_size),
+        ).astype(np.float32)
+        quantized_cfg = QuantizedConfiguration(
+            name="quantized:w8a8", kind="quantized",
+            quantized=quantize_vit(model, calibration))
+        pipeline = ITaskPipeline(quantized_cfg)
+    else:
+        specialist = TaskSpecificConfiguration(
+            name=f"specialist:{task.name}", kind="task_specific",
+            student=model, task_name=task.name)
+        placeholder = QuantizedConfiguration(
+            name="quantized:placeholder", kind="quantized", quantized=None)
+        pipeline = ITaskPipeline(placeholder,
+                                 specialists={task.name: specialist})
 
     rng = np.random.default_rng(seed)
     positives, negatives = [], []
@@ -76,9 +98,10 @@ def build_workload(
         (positives if task.matches(profile) else negatives).append(profile)
     spec = TaskSpec.from_definition(task, support_positives=positives[:4],
                                     support_negatives=negatives[:4])
-    # Register under the refined graph (build_kg is deterministic), so
-    # selector similarity is exactly 1.0 and the specialist always wins.
-    pipeline.selector.register_specialist(task.name, pipeline.build_kg(spec))
+    if configuration == "specialist":
+        # Register under the refined graph (build_kg is deterministic), so
+        # selector similarity is exactly 1.0 and the specialist always wins.
+        pipeline.selector.register_specialist(task.name, pipeline.build_kg(spec))
     scenes = SceneGenerator(SceneConfig(grid=grid),
                             seed=seed).generate_batch(num_scenes)
     return pipeline, spec, list(scenes)
@@ -110,6 +133,7 @@ def run_throughput(
     repeats: int = 3,
     seed: int = 7,
     flush_ms: float = 20.0,
+    configuration: str = "specialist",
 ) -> List[Dict]:
     """Measure scenes/sec for each strategy; returns result rows.
 
@@ -117,9 +141,12 @@ def run_throughput(
     ``percall_rebuild`` baseline (the seed's per-call semantics).  The
     engine rows sweep ``max_batch`` × ``workers``.  ``flush_ms`` is kept
     high because the benchmark saturates the queue up front — flushes
-    trigger on ``max_batch``, not the timer.
+    trigger on ``max_batch``, not the timer.  ``configuration`` selects
+    the deployed model (float specialist or the quantized generalist,
+    see :func:`build_workload`).
     """
-    pipeline, spec, scenes = build_workload(num_scenes, grid, seed)
+    pipeline, spec, scenes = build_workload(num_scenes, grid, seed,
+                                            configuration=configuration)
 
     # Correctness gate first: the engine must reproduce per-scene detect.
     session = pipeline.session(spec)
@@ -188,3 +215,61 @@ def best_engine_speedup(rows: Sequence[Dict], min_batch: int = 8) -> float:
         if row["mode"] == "engine" and (row["batch"] or 0) >= min_batch
     ]
     return max(candidates) if candidates else 0.0
+
+
+def compare_engine_configurations(
+    num_scenes: int = 48,
+    grid: int = 3,
+    batch: int = 8,
+    workers: int = 1,
+    repeats: int = 3,
+    seed: int = 7,
+) -> List[Dict]:
+    """Float-specialist vs quantized engine scenes/sec on one stream.
+
+    The E11 harness with the model swapped: both configurations serve
+    the identical scene stream through identically configured
+    micro-batching engines, with timing rounds interleaved so machine
+    drift cancels (E12's acceptance gate: the quantized configuration
+    must stay within 2x of the float one).  Returns one row per
+    configuration with ``scenes_per_s`` and ``ratio_vs_float``
+    (float scenes/sec ÷ this configuration's — 1.0 for float itself,
+    small is good).
+    """
+    sessions = []
+    for configuration in ("specialist", "quantized"):
+        pipeline, spec, scenes = build_workload(num_scenes, grid, seed,
+                                                configuration=configuration)
+        sessions.append((configuration, pipeline.session(spec), scenes))
+
+    config = EngineConfig(max_batch=batch, workers=workers,
+                          queue_size=max(64, num_scenes))
+
+    def engine_pass(session, scenes):
+        def run() -> None:
+            with session.engine(config) as eng:
+                eng.detect_many(scenes)
+        return run
+
+    tasks = [engine_pass(session, scenes) for _, session, scenes in sessions]
+    for fn in tasks:    # warm both engines before timing
+        fn()
+    samples = _interleaved_rounds(repeats, tasks)
+
+    rows: List[Dict] = []
+    float_rounds = samples[0]
+    for (configuration, _, _), rounds in zip(sessions, samples):
+        best = min(rounds)
+        ratios = sorted(r / f for f, r in zip(float_rounds, rounds))
+        mid = len(ratios) // 2
+        ratio = (ratios[mid] if len(ratios) % 2
+                 else 0.5 * (ratios[mid - 1] + ratios[mid]))
+        rows.append({
+            "configuration": configuration,
+            "batch": batch,
+            "workers": workers,
+            "scenes_per_s": num_scenes / best,
+            "ms_per_scene": best / num_scenes * 1e3,
+            "ratio_vs_float": ratio,
+        })
+    return rows

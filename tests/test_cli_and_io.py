@@ -107,6 +107,13 @@ class TestCLI:
         assert main(["models"]) == 0
         assert "empty" in capsys.readouterr().out
 
+    def test_quant_bench_command(self, capsys):
+        assert main(["quant", "bench", "--rows", "64",
+                     "--batch-images", "8", "--repeats", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "patch_proj" in out
+        assert "bit-identical" in out
+
 
 class TestArtifactsCLI:
     @pytest.fixture()

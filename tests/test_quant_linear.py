@@ -87,6 +87,91 @@ class TestQuantizedLinear:
         assert q.weight_bits == 8 and q.act_bits == 8
 
 
+class TestExactBlasKernels:
+    """The BLAS fast path must reproduce the int64 reference bit for bit."""
+
+    @staticmethod
+    def _quantized(bits, symmetric, in_features=24, out_features=12, seed=0):
+        rng = np.random.default_rng(seed + bits * 7 + symmetric)
+        linear = Linear(in_features, out_features, rng=rng)
+        x = rng.standard_normal((33, in_features)).astype(np.float32)
+        act_spec = QuantSpec(bits=bits, symmetric=symmetric)
+        act_params = compute_qparams(float(x.min()), float(x.max()), act_spec)
+        weight_spec = QuantSpec(bits=bits, symmetric=True,
+                                per_channel=True, axis=0)
+        return QuantizedLinear.from_linear(linear, act_params, weight_spec), x
+
+    @pytest.mark.parametrize("bits", [2, 4, 8, 16])
+    @pytest.mark.parametrize("symmetric", [True, False])
+    def test_kernel_bitwise_equals_int64_reference(self, bits, symmetric):
+        q, x = self._quantized(bits, symmetric)
+        x_q = q.quantize_input(x)
+        np.testing.assert_array_equal(q.forward_integer(x_q),
+                                      q.forward_integer_reference(x_q))
+
+    @pytest.mark.parametrize("bits", [2, 4, 8, 16])
+    @pytest.mark.parametrize("symmetric", [True, False])
+    def test_call_bitwise_equals_reference_mode(self, bits, symmetric,
+                                                monkeypatch):
+        q, x = self._quantized(bits, symmetric)
+        fast = q(x)
+        monkeypatch.setenv("REPRO_QUANT_EXACT", "1")
+        reference = q(x)
+        assert fast.dtype == reference.dtype == np.float32
+        np.testing.assert_array_equal(fast, reference)
+
+    def test_nd_kernel_bitwise_equals_reference(self):
+        q, x = self._quantized(8, False)
+        x_q = q.quantize_input(x.reshape(3, 11, -1))
+        np.testing.assert_array_equal(q.forward_integer(x_q),
+                                      q.forward_integer_reference(x_q))
+
+    def test_batch_invariant(self):
+        """Fused rows must equal per-row forwards bit for bit (the
+        exact-integer accumulator makes BLAS blocking order irrelevant)."""
+        q, x = self._quantized(8, False)
+        batched = q(x)
+        for i in range(x.shape[0]):
+            np.testing.assert_array_equal(batched[i], q(x[i : i + 1])[0])
+
+    def test_gemm_dtype_selected_by_exactness_bound(self):
+        narrow, _ = self._quantized(8, False)
+        assert narrow._gemm_dtype is np.float32  # K·amax·wmax ≤ 2^24
+        wide, _ = self._quantized(16, False)
+        assert wide._gemm_dtype is np.float64    # 16-bit products overflow f32
+
+    def test_quantize_input_returns_storage_dtype(self):
+        for bits, symmetric, expected in ((8, True, np.int8),
+                                          (8, False, np.uint8),
+                                          (16, True, np.int16),
+                                          (16, False, np.uint16)):
+            q, x = self._quantized(bits, symmetric)
+            assert q.quantize_input(x).dtype == expected
+
+    def test_float64_overflow_bound_rejected(self):
+        # 2·K·amax·wmax ≥ 2^53 would let a partial sum round inside the
+        # float64 GEMM; construction must refuse rather than go inexact.
+        k = 1 << 23
+        weight_q = np.full((1, k), 32767, dtype=np.int16)
+        weight_params = compute_qparams(-1.0, 1.0,
+                                        QuantSpec(bits=16, symmetric=True))
+        act_params = compute_qparams(0.0, 1.0,
+                                     QuantSpec(bits=16, symmetric=False))
+        with pytest.raises(ValueError, match="not exactly representable"):
+            QuantizedLinear(weight_q, weight_params, act_params, None)
+
+    def test_escape_hatch_routes_kernel_to_reference(self, monkeypatch):
+        q, x = self._quantized(8, False)
+        calls = []
+        original = q.forward_integer_reference
+        monkeypatch.setattr(
+            q, "forward_integer_reference",
+            lambda x_q: calls.append(1) or original(x_q))
+        monkeypatch.setenv("REPRO_QUANT_EXACT", "1")
+        q.forward_integer(q.quantize_input(x))
+        assert calls, "REPRO_QUANT_EXACT=1 must use the int64 reference"
+
+
 class TestFakeQuantize:
     def test_forward_matches_array_path(self):
         rng = np.random.default_rng(0)

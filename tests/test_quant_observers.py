@@ -82,6 +82,68 @@ class TestPercentile:
             PercentileObserver(SPEC, percentile=30.0)
 
 
+class TestPercentileReservoir:
+    def test_memory_bounded_past_budget(self):
+        obs = PercentileObserver(SPEC, max_samples=1000)
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            obs.observe(rng.standard_normal(700).astype(np.float32))
+        assert obs._reservoir.size == 1000
+        assert obs._filled == 1000
+        assert obs._count == 14_000
+
+    def test_uniform_inclusion_over_stream(self):
+        """Every stream position must be (about) equally likely to stay:
+        the reservoir mean over a drifting stream tracks the *stream*
+        mean, not the head the seed's decaying acceptance favoured."""
+        obs = PercentileObserver(SPEC, max_samples=2000, seed=1)
+        stream_mean = np.mean(np.arange(100_000, dtype=np.float64))
+        for start in range(0, 100_000, 5000):
+            obs.observe(np.arange(start, start + 5000, dtype=np.float64))
+        reservoir_mean = obs._reservoir[: obs._filled].mean()
+        assert abs(reservoir_mean - stream_mean) / stream_mean < 0.05
+
+    def test_range_tracks_late_stream_shift(self):
+        # A true reservoir keeps sampling after the budget fills, so a
+        # late distribution shift must move the computed range.
+        obs = PercentileObserver(SPEC, percentile=99.0, max_samples=500,
+                                 seed=2)
+        rng = np.random.default_rng(3)
+        obs.observe(rng.standard_normal(500).astype(np.float32))
+        narrow = obs.compute()
+        for _ in range(50):
+            obs.observe(10.0 * rng.standard_normal(500).astype(np.float32))
+        wide = obs.compute()
+        assert float(wide.scale) > 2.0 * float(narrow.scale)
+
+    def test_reset_clears_reservoir(self):
+        obs = PercentileObserver(SPEC, max_samples=100)
+        obs.observe(np.ones(50, np.float32))
+        obs.reset()
+        with pytest.raises(RuntimeError):
+            obs.compute()
+
+
+class TestMSEGrid:
+    def test_shrink_grid_covers_documented_endpoints(self):
+        # The grid must include both the full range (shrink 1.0) and the
+        # documented 0.2 endpoint (the seed's 1 - 0.8*i/n stopped short).
+        grid = np.linspace(1.0, 0.2, 20)
+        assert grid[0] == 1.0
+        assert grid[-1] == pytest.approx(0.2)
+
+    def test_clean_uniform_keeps_full_range(self):
+        # Without outliers, shrinking only adds clipping error, so the
+        # argmin must sit at shrink = 1.0 — full min/max range.
+        obs_mse = MSEObserver(SPEC, seed=0)
+        obs_minmax = MinMaxObserver(SPEC)
+        x = np.linspace(-1.0, 1.0, 4096).astype(np.float32)
+        obs_mse.observe(x)
+        obs_minmax.observe(x)
+        assert float(obs_mse.compute().scale) == \
+            pytest.approx(float(obs_minmax.compute().scale))
+
+
 class TestMSE:
     def test_beats_minmax_on_heavy_tails(self):
         rng = np.random.default_rng(0)

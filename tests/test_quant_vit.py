@@ -88,6 +88,62 @@ class TestQuantizedModel:
             sizes[bits] = q.model_size_bytes()
         assert sizes[4] < sizes[8] < sizes[16]
 
+    def test_model_size_counts_packed_bits(self, student_vit,
+                                           calibration_images):
+        """Sub-byte widths must report the packed footprint —
+        ceil(size·bits/8) per layer — not one storage byte per code."""
+        for bits in (2, 4, 8):
+            q = quantize_vit(
+                student_vit, calibration_images,
+                weight_spec=QuantSpec(bits=bits, symmetric=True,
+                                      per_channel=True, axis=0),
+            )
+            expected = 0
+            for layer in q.layers.values():
+                expected += (layer.weight_q.size * bits + 7) // 8
+                if layer.bias is not None:
+                    expected += layer.bias.size * 4
+            float_aux = q.model_size_bytes() - expected
+            assert float_aux > 0  # LayerNorm/cls/pos params ride along
+            weight_codes = sum(l.weight_q.size for l in q.layers.values())
+            # The packed weight payload alone must be ~bits/8 per code.
+            packed = q.model_size_bytes() - float_aux
+            biases = sum(l.bias.size * 4 for l in q.layers.values()
+                         if l.bias is not None)
+            assert packed - biases <= weight_codes * bits / 8 + len(q.layers)
+
+    def test_fast_path_bitwise_equals_reference(self, student_vit,
+                                                calibration_images,
+                                                monkeypatch):
+        q = quantize_vit(student_vit, calibration_images)
+        fast = q(calibration_images[:4])
+        monkeypatch.setenv("REPRO_QUANT_EXACT", "1")
+        reference = q(calibration_images[:4])
+        for key in fast:
+            if isinstance(fast[key], dict):
+                for sub in fast[key]:
+                    np.testing.assert_array_equal(fast[key][sub],
+                                                  reference[key][sub])
+            else:
+                np.testing.assert_array_equal(fast[key], reference[key])
+
+    def test_batch_invariant_forward(self, student_vit, calibration_images):
+        """Fused batches must reproduce per-image forwards bit for bit —
+        every reduction in the quantized graph is row-local."""
+        q = quantize_vit(student_vit, calibration_images)
+        images = calibration_images[:6]
+        batched = q(images)
+        for i in range(images.shape[0]):
+            single = q(images[i : i + 1])
+            for key in batched:
+                if isinstance(batched[key], dict):
+                    for sub in batched[key]:
+                        np.testing.assert_array_equal(batched[key][sub][i],
+                                                      single[key][sub][0])
+                else:
+                    np.testing.assert_array_equal(batched[key][i],
+                                                  single[key][0])
+
     def test_weight_bits_reported(self, student_vit, calibration_images):
         q = quantize_vit(
             student_vit, calibration_images,

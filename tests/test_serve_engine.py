@@ -225,6 +225,46 @@ class TestDetectBatch:
         self._assert_batch_matches_sequential(detector, scenes[:3],
                                               exact=True)
 
+    @pytest.mark.parametrize("weight_bits,act_bits", [(4, 8), (16, 16)])
+    def test_quantized_batch_bitwise_other_widths(self, student_vit, scenes,
+                                                  weight_bits, act_bits):
+        """Batch invariance must hold on both exact-GEMM dtypes: w4a8
+        runs the float32 kernels, w16a16 the float64 ones."""
+        from repro.quant import QuantSpec, quantize_vit
+
+        rng = np.random.default_rng(1)
+        calibration = rng.random((16, 3, 32, 32)).astype(np.float32)
+        quantized = quantize_vit(
+            student_vit, calibration,
+            weight_spec=QuantSpec(bits=weight_bits, symmetric=True,
+                                  per_channel=True, axis=0),
+            act_spec=QuantSpec(bits=act_bits, symmetric=False))
+        kg = SimulatedLLM().generate_for_task(get_task(TASK))
+        detector = TaskDetector(quantized, matcher=GraphMatcher(kg),
+                                score_threshold=0.0)
+        self._assert_batch_matches_sequential(detector, scenes[:2],
+                                              exact=True)
+
+    def test_quantized_detect_bitwise_equals_reference(self, student_vit,
+                                                       scenes, monkeypatch):
+        """The whole detect path on BLAS kernels must reproduce the int64
+        reference path bit for bit (REPRO_QUANT_EXACT=1)."""
+        from repro.quant import quantize_vit
+
+        rng = np.random.default_rng(2)
+        calibration = rng.random((16, 3, 32, 32)).astype(np.float32)
+        quantized = quantize_vit(student_vit, calibration)
+        kg = SimulatedLLM().generate_for_task(get_task(TASK))
+        detector = TaskDetector(quantized, matcher=GraphMatcher(kg),
+                                score_threshold=0.0)
+        fast = detector.detect_batch(scenes[:2])
+        monkeypatch.setenv("REPRO_QUANT_EXACT", "1")
+        reference = detector.detect_batch(scenes[:2])
+        for left, right in zip(fast, reference):
+            assert [d.bbox for d in left] == [d.bbox for d in right]
+            assert [d.score for d in left] == [d.score for d in right]
+            assert [d.class_id for d in left] == [d.class_id for d in right]
+
     def test_empty_batch(self, pipeline, spec):
         assert pipeline.session(spec).detect_batch([]) == []
 
