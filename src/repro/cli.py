@@ -32,6 +32,12 @@ Commands
     persist its telemetry, convert a telemetry file's spans to Chrome
     trace-event JSON for Perfetto, and gate one run against a baseline
     (non-zero exit on hot-path regression, for CI).
+``fuzz {run,replay,corpus}``
+    the differential scenario fuzzer: sweep seeded generated scenarios
+    across the float/quantized/batched/engine/streaming paths (non-zero
+    exit + replayable JSON case files on any oracle divergence),
+    deterministically replay a recorded case, and re-check the committed
+    seed corpus.
 """
 
 from __future__ import annotations
@@ -392,6 +398,74 @@ def _cmd_obs_compare(args: argparse.Namespace) -> int:
     return 0 if comparison.ok else 1
 
 
+def _cmd_fuzz_run(args: argparse.Namespace) -> int:
+    from repro.fuzz import run_campaign
+
+    report = run_campaign(
+        seed=args.seed,
+        budget=args.budget,
+        artifacts_dir=args.artifacts_dir,
+        shrink=not args.no_shrink,
+        log=print,
+    )
+    status = "OK" if report.ok else "DIVERGENT"
+    print(f"fuzz run: {report.executed} scenarios from seed {report.seed} "
+          f"-> {len(report.failures)} divergent [{status}]")
+    for path in report.case_paths:
+        print(f"  case file: {path}")
+    return 0 if report.ok else 1
+
+
+def _cmd_fuzz_replay(args: argparse.Namespace) -> int:
+    from repro.fuzz import ModelCache, load_case, replay_case
+    from repro.fuzz.runner import failing_oracles
+
+    cache = ModelCache()
+    exit_code = 0
+    for path in args.case:
+        case = load_case(path)
+        result = replay_case(case, cache=cache)
+        recorded = sorted({d["oracle"] for d in case.get("divergences", [])})
+        if result.ok:
+            print(f"{path}: no divergence"
+                  + (f" (recorded: {', '.join(recorded)} — fixed)"
+                     if recorded else ""))
+            continue
+        exit_code = 1
+        print(f"{path}: DIVERGENT in {', '.join(failing_oracles(result))}")
+        for divergence in result.divergences[:args.max_print]:
+            print(f"  [{divergence.oracle}] {divergence.message}")
+        hidden = len(result.divergences) - args.max_print
+        if hidden > 0:
+            print(f"  ... and {hidden} more")
+    return exit_code
+
+
+def _cmd_fuzz_corpus(args: argparse.Namespace) -> int:
+    from repro.fuzz import ModelCache, iter_corpus, run_scenario
+    from repro.fuzz.runner import failing_oracles
+
+    cache = ModelCache()
+    checked = 0
+    failures = 0
+    for path, spec in iter_corpus(args.dir):
+        checked += 1
+        result = run_scenario(spec, cache=cache)
+        if result.ok:
+            print(f"{path.name}: ok")
+            continue
+        failures += 1
+        print(f"{path.name}: DIVERGENT in "
+              f"{', '.join(failing_oracles(result))}")
+        for divergence in result.divergences[:args.max_print]:
+            print(f"  [{divergence.oracle}] {divergence.message}")
+    if checked == 0:
+        print("no corpus case files found")
+        return 1
+    print(f"corpus: {checked} cases, {failures} divergent")
+    return 0 if failures == 0 else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -529,6 +603,39 @@ def build_parser() -> argparse.ArgumentParser:
     obs_compare.add_argument("--stages", default=None,
                              help="comma-separated stage allowlist")
     obs_compare.set_defaults(func=_cmd_obs_compare)
+
+    fuzz = sub.add_parser(
+        "fuzz", help="differential scenario fuzzer (float vs quantized vs "
+                     "batched vs streaming)")
+    fuzz_sub = fuzz.add_subparsers(dest="fuzz_command", required=True)
+
+    fuzz_run = fuzz_sub.add_parser(
+        "run", help="sweep generated scenarios; exit 1 on any divergence")
+    fuzz_run.add_argument("--seed", type=int, default=0,
+                          help="first scenario seed")
+    fuzz_run.add_argument("--budget", type=int, default=200,
+                          help="number of scenarios to execute")
+    fuzz_run.add_argument("--artifacts-dir", default=".fuzz_artifacts",
+                          help="where replayable divergence case files go")
+    fuzz_run.add_argument("--no-shrink", action="store_true",
+                          help="record failures without minimizing them")
+    fuzz_run.set_defaults(func=_cmd_fuzz_run)
+
+    fuzz_replay = fuzz_sub.add_parser(
+        "replay", help="re-run recorded case files; exit 1 if any diverges")
+    fuzz_replay.add_argument("case", nargs="+", help="case JSON path(s)")
+    fuzz_replay.add_argument("--max-print", type=int, default=10,
+                             help="divergences to print per case")
+    fuzz_replay.set_defaults(func=_cmd_fuzz_replay)
+
+    fuzz_corpus = fuzz_sub.add_parser(
+        "corpus", help="replay the committed seed corpus; exit 1 on "
+                       "divergence or an empty corpus")
+    fuzz_corpus.add_argument("--dir", default=None,
+                             help="corpus directory (default: the repo's "
+                                  "tests/fuzz_corpus)")
+    fuzz_corpus.add_argument("--max-print", type=int, default=10)
+    fuzz_corpus.set_defaults(func=_cmd_fuzz_corpus)
     return parser
 
 

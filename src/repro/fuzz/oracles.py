@@ -1,0 +1,389 @@
+"""Differential agreement oracles.
+
+Each oracle runs one scenario through two or more independent
+implementations of the same detection math and asserts agreement:
+
+* ``static_paths`` — per-scene ``detect`` vs fused ``detect_batch`` vs
+  the micro-batching ``DetectionEngine``, for the float and the
+  quantized configuration, plus vectorized vs reference-loop extraction
+  and NMS.  The quantized path must agree **bit for bit** (the exact
+  BLAS kernels are batch-invariant by construction); the float path
+  must agree on the kept boxes with scores equal to within a few ulps —
+  box-set differences are excused only when the disagreeing score sits
+  within ``_SCORE_ATOL`` of the decision threshold.
+* ``stream_fused`` — ``StreamingDetector.update`` frame by frame vs one
+  fused ``update_many`` chunk, bit-exact on the quantized model and
+  tolerance-checked on the float model.
+* ``stream_invariants`` — temporal safety properties of the tracker
+  under arbitrary (including degenerate and shrinking) grid schedules:
+  no immortal tracks on unobserved cells, missed counters bounded,
+  scores in range, ids unique.
+* ``stream_metrics`` — ``evaluate_stream`` vs an independent clean-room
+  reimplementation of the documented metric semantics, driven by the
+  same deterministic detector outputs.
+
+Every disagreement is reported as a :class:`Divergence` — a JSON-able
+record the runner attaches to the replayable case file.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import TYPE_CHECKING, Any, Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.data.tasks import TaskDefinition
+from repro.detect.pipeline import Detection, TaskDetector
+from repro.fuzz.scenario import ScenarioSpec, ScriptedSequence
+from repro.stream.sequence import FrameState
+from repro.stream.tracker import Track
+
+if TYPE_CHECKING:
+    from repro.fuzz.runner import ExecutionContext
+
+#: Float GEMM tiling varies with batch shape, so scores across fused vs
+#: per-scene float forwards agree to a few ulps, not bitwise.
+_SCORE_ATOL = 1e-5
+
+
+@dataclasses.dataclass
+class Divergence:
+    """One oracle disagreement, serializable into a replay case."""
+
+    oracle: str
+    message: str
+    details: Dict[str, Any] = dataclasses.field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {"oracle": self.oracle, "message": self.message,
+                "details": self.details}
+
+
+# ----------------------------------------------------------------------
+# detection-list comparison
+# ----------------------------------------------------------------------
+def _det_key(det: Detection) -> Tuple[int, int, int, int]:
+    return tuple(int(v) for v in det.bbox)
+
+
+def compare_detections(
+    oracle: str,
+    label: str,
+    reference: Sequence[Sequence[Detection]],
+    candidate: Sequence[Sequence[Detection]],
+    exact: bool,
+    threshold: float,
+) -> List[Divergence]:
+    """Compare two per-scene detection lists.
+
+    ``exact`` requires identical order, boxes, and bit-equal scores (the
+    quantized guarantee).  The tolerant mode compares box *sets* with
+    scores within :data:`_SCORE_ATOL`; a box present on one side only is
+    excused only when its combined score sits within the tolerance of
+    the decision threshold (a legitimate ulp-level threshold flip).
+    """
+    divergences: List[Divergence] = []
+    if len(reference) != len(candidate):
+        return [Divergence(oracle, f"{label}: scene count "
+                           f"{len(reference)} != {len(candidate)}")]
+    for index, (ref, cand) in enumerate(zip(reference, candidate)):
+        if exact:
+            same = (len(ref) == len(cand) and all(
+                _det_key(r) == _det_key(c)
+                and r.score == c.score
+                and r.objectness == c.objectness
+                and r.task_score == c.task_score
+                and r.class_id == c.class_id
+                for r, c in zip(ref, cand)))
+            if not same:
+                divergences.append(Divergence(
+                    oracle, f"{label}: scene {index} not bit-identical",
+                    {"scene": index,
+                     "reference": [_describe(d) for d in ref],
+                     "candidate": [_describe(d) for d in cand]}))
+            continue
+        ref_by_box = {_det_key(d): d for d in ref}
+        cand_by_box = {_det_key(d): d for d in cand}
+        for box in set(ref_by_box) ^ set(cand_by_box):
+            only = ref_by_box.get(box) or cand_by_box[box]
+            if abs(only.score - threshold) <= _SCORE_ATOL:
+                continue  # ulp-level threshold flip: not a real divergence
+            side = "reference" if box in ref_by_box else "candidate"
+            divergences.append(Divergence(
+                oracle, f"{label}: scene {index} box {box} only on {side}",
+                {"scene": index, "box": list(box), "side": side,
+                 "score": float(only.score), "threshold": threshold}))
+        for box in set(ref_by_box) & set(cand_by_box):
+            r, c = ref_by_box[box], cand_by_box[box]
+            if abs(r.score - c.score) > _SCORE_ATOL:
+                divergences.append(Divergence(
+                    oracle, f"{label}: scene {index} box {box} score "
+                    f"{r.score!r} vs {c.score!r}",
+                    {"scene": index, "box": list(box),
+                     "reference_score": float(r.score),
+                     "candidate_score": float(c.score)}))
+    return divergences
+
+
+def _describe(det: Detection) -> Dict[str, Any]:
+    return {"bbox": list(det.bbox), "score": float(det.score),
+            "objectness": float(det.objectness),
+            "task_score": float(det.task_score),
+            "class_id": int(det.class_id)}
+
+
+# ----------------------------------------------------------------------
+# track comparison
+# ----------------------------------------------------------------------
+_TRACK_FIELDS = ("track_id", "cell", "first_frame", "last_frame",
+                 "active", "missed")
+
+
+def _track_tuple(track: Track) -> Tuple:
+    return tuple(getattr(track, f) for f in _TRACK_FIELDS)
+
+
+def compare_track_snapshots(
+    oracle: str,
+    label: str,
+    reference: Sequence[Sequence[Track]],
+    candidate: Sequence[Sequence[Track]],
+    exact_scores: bool,
+) -> List[Divergence]:
+    """Frame-by-frame track equality (cells, ids, lifecycle, scores)."""
+    divergences: List[Divergence] = []
+    if len(reference) != len(candidate):
+        return [Divergence(oracle, f"{label}: frame count "
+                           f"{len(reference)} != {len(candidate)}")]
+    for frame, (ref, cand) in enumerate(zip(reference, candidate)):
+        ref_sorted = sorted(ref, key=lambda t: t.track_id)
+        cand_sorted = sorted(cand, key=lambda t: t.track_id)
+        structural_ok = ([_track_tuple(t) for t in ref_sorted]
+                         == [_track_tuple(t) for t in cand_sorted])
+        if not structural_ok:
+            divergences.append(Divergence(
+                oracle, f"{label}: frame {frame} track structure differs",
+                {"frame": frame,
+                 "reference": [_track_dict(t) for t in ref_sorted],
+                 "candidate": [_track_dict(t) for t in cand_sorted]}))
+            continue
+        for r, c in zip(ref_sorted, cand_sorted):
+            if exact_scores:
+                agree = r.score == c.score
+            else:
+                agree = abs(float(r.score) - float(c.score)) <= _SCORE_ATOL
+            if not agree:
+                divergences.append(Divergence(
+                    oracle, f"{label}: frame {frame} track {r.track_id} "
+                    f"score {r.score!r} vs {c.score!r}",
+                    {"frame": frame, "track_id": r.track_id,
+                     "reference_score": float(r.score),
+                     "candidate_score": float(c.score)}))
+    return divergences
+
+
+def _track_dict(track: Track) -> Dict[str, Any]:
+    data = {f: getattr(track, f) for f in _TRACK_FIELDS}
+    data["cell"] = list(data["cell"])
+    data["score"] = float(track.score)
+    return data
+
+
+# ----------------------------------------------------------------------
+# oracles
+# ----------------------------------------------------------------------
+def oracle_static_paths(spec: ScenarioSpec,
+                        ctx: "ExecutionContext") -> List[Divergence]:
+    """detect == detect_batch == engine, and vectorized == reference."""
+    divergences: List[Divergence] = []
+    scenes = ctx.scenes
+    threshold = spec.score_threshold
+    float_sequential = None
+    for kind in ("float", "quantized"):
+        detector = ctx.make_detector(kind)
+        sequential = [detector.detect(scene) for scene in scenes]
+        if kind == "float":
+            float_sequential = sequential
+        exact = kind == "quantized"
+        fused = detector.detect_batch(scenes)
+        divergences += compare_detections(
+            "static_paths", f"{kind}:batch_vs_sequential",
+            sequential, fused, exact=exact, threshold=threshold)
+        engine_results = ctx.run_engine(detector, scenes)
+        divergences += compare_detections(
+            "static_paths", f"{kind}:engine_vs_sequential",
+            sequential, engine_results, exact=exact, threshold=threshold)
+    reference_detector = ctx.make_detector("float", vectorized=False)
+    reference = [reference_detector.detect(scene) for scene in scenes]
+    divergences += compare_detections(
+        "static_paths", "float:vectorized_vs_reference",
+        float_sequential, reference, exact=False, threshold=threshold)
+    return divergences
+
+
+def oracle_stream_fused(spec: ScenarioSpec,
+                        ctx: "ExecutionContext") -> List[Divergence]:
+    """Frame-by-frame ``update`` == one fused ``update_many`` chunk."""
+    divergences: List[Divergence] = []
+    frames = [state.scene for state in ctx.frames]
+    for kind in ("quantized", "float"):
+        sequential_detector = ctx.make_stream(kind)
+        snapshots = []
+        for scene in frames:
+            snapshots.append([dataclasses.replace(t)
+                              for t in sequential_detector.update(scene)])
+        fused_detector = ctx.make_stream(kind)
+        fused = fused_detector.update_many(frames)
+        divergences += compare_track_snapshots(
+            "stream_fused", f"{kind}:update_many_vs_update",
+            snapshots, fused, exact_scores=(kind == "quantized"))
+    return divergences
+
+
+def oracle_stream_invariants(spec: ScenarioSpec,
+                             ctx: "ExecutionContext") -> List[Divergence]:
+    """Temporal safety properties under arbitrary grid schedules."""
+    divergences: List[Divergence] = []
+    detector = ctx.make_stream("quantized")
+    grids = spec.frame_grids
+    last_observed: Dict[Tuple[int, int], int] = {}
+    for frame_index, state in enumerate(ctx.frames):
+        grid = grids[frame_index]
+        for row in range(grid):
+            for col in range(grid):
+                last_observed[(row, col)] = frame_index
+        tracks = detector.update(state.scene)
+        ids = [t.track_id for t in tracks]
+        if len(set(ids)) != len(ids):
+            divergences.append(Divergence(
+                "stream_invariants",
+                f"frame {frame_index}: duplicate active track ids",
+                {"frame": frame_index, "ids": ids}))
+        for track in tracks:
+            if track.missed > spec.max_missed_frames:
+                divergences.append(Divergence(
+                    "stream_invariants",
+                    f"frame {frame_index}: track {track.track_id} active "
+                    f"with missed={track.missed} > "
+                    f"max_missed_frames={spec.max_missed_frames}",
+                    {"frame": frame_index, "track": _track_dict(track)}))
+            if not (track.first_frame <= track.last_frame <= frame_index):
+                divergences.append(Divergence(
+                    "stream_invariants",
+                    f"frame {frame_index}: track {track.track_id} has "
+                    f"inconsistent lifecycle frames",
+                    {"frame": frame_index, "track": _track_dict(track)}))
+            if not (0.0 <= float(track.score) <= 1.0 + 1e-9):
+                divergences.append(Divergence(
+                    "stream_invariants",
+                    f"frame {frame_index}: track {track.track_id} score "
+                    f"{track.score!r} out of [0, 1]",
+                    {"frame": frame_index, "track": _track_dict(track)}))
+            observed_at = last_observed.get(track.cell)
+            # A track whose cell was never observed within the missed
+            # budget must be dead: unobserved frames count as missed.
+            # (Pre-fix, stale EMA kept refreshing last_frame/missed and
+            # such tracks survived forever.)
+            if (observed_at is None
+                    or frame_index - observed_at > spec.max_missed_frames):
+                divergences.append(Divergence(
+                    "stream_invariants",
+                    f"frame {frame_index}: track {track.track_id} on cell "
+                    f"{track.cell} survives though the cell was last "
+                    f"observed at frame {observed_at}",
+                    {"frame": frame_index, "track": _track_dict(track),
+                     "last_observed": observed_at}))
+    return divergences
+
+
+def reference_stream_metrics(detector, states: Sequence[FrameState],
+                             task: TaskDefinition) -> Dict[str, float]:
+    """Clean-room implementation of the documented streaming metrics.
+
+    Independent of :func:`repro.stream.metrics.evaluate_stream`: drives
+    its own detector pass and recomputes frame accuracy, detection
+    latency (first track on a *live* relevant object's cell, strictly
+    before its recorded death), detected fraction, and flicker rate from
+    first principles.
+    """
+    correct = 0
+    total = 0
+    flips = 0
+    previous: Dict[Tuple[int, int], bool] = {}
+    birth_frame: Dict[int, int] = {}
+    detect_frame: Dict[int, int] = {}
+    dead: set = set()
+    relevant_ids: set = set()
+    for state in states:
+        fired = {t.cell for t in detector.update(state.scene)}
+        dead.update(state.deaths)
+        alive_relevant: Dict[Tuple[int, int], int] = {}
+        for obj, obj_id in zip(state.scene.objects, state.object_ids):
+            if task.matches(obj.profile):
+                relevant_ids.add(obj_id)
+                birth_frame.setdefault(obj_id, state.index)
+                alive_relevant[obj.cell] = obj_id
+        grid = state.scene.grid
+        for row in range(grid):
+            for col in range(grid):
+                cell = (row, col)
+                decision = cell in fired
+                truth = cell in alive_relevant
+                correct += int(decision == truth)
+                total += 1
+                if cell in previous and previous[cell] != decision:
+                    flips += 1
+                previous[cell] = decision
+        for cell, obj_id in alive_relevant.items():
+            if (cell in fired and obj_id not in dead
+                    and obj_id not in detect_frame):
+                detect_frame[obj_id] = state.index
+    latencies = [detect_frame[i] - birth_frame[i] for i in detect_frame]
+    return {
+        "frame_accuracy": correct / max(total, 1),
+        "mean_detection_latency": (float(np.mean(latencies)) if latencies
+                                   else float("nan")),
+        "detected_fraction": len(detect_frame) / max(len(relevant_ids), 1),
+        "flicker_rate": flips / max(total, 1),
+    }
+
+
+def oracle_stream_metrics(spec: ScenarioSpec,
+                          ctx: "ExecutionContext") -> List[Divergence]:
+    """``evaluate_stream`` vs the clean-room metric reimplementation.
+
+    Both passes drive identical fresh detectors over identical frames,
+    so every per-frame track set is bit-identical and any metric
+    disagreement is a semantics bug, not noise.
+    """
+    task = ctx.task
+    states = ctx.frames
+    metrics = ctx.evaluate_fn(ctx.make_stream("float"),
+                              ScriptedSequence(states), task,
+                              num_frames=len(states))
+    reference = reference_stream_metrics(ctx.make_stream("float"),
+                                         states, task)
+    divergences: List[Divergence] = []
+    for name, expected in reference.items():
+        actual = getattr(metrics, name)
+        agree = (math.isnan(expected) and math.isnan(actual)) or \
+            (not math.isnan(expected) and not math.isnan(actual)
+             and abs(actual - expected) <= 1e-12)
+        if not agree:
+            divergences.append(Divergence(
+                "stream_metrics",
+                f"{name}: evaluate_stream={actual!r} reference={expected!r}",
+                {"metric": name, "evaluate_stream": float(actual),
+                 "reference": float(expected)}))
+    return divergences
+
+
+#: Ordered oracle registry: (name, callable).
+ORACLES = (
+    ("static_paths", oracle_static_paths),
+    ("stream_fused", oracle_stream_fused),
+    ("stream_invariants", oracle_stream_invariants),
+    ("stream_metrics", oracle_stream_metrics),
+)

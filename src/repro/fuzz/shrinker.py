@@ -1,0 +1,102 @@
+"""Greedy scenario minimization.
+
+Given a failing :class:`~repro.fuzz.scenario.ScenarioSpec` and a
+``still_fails`` predicate, :func:`shrink_spec` repeatedly tries ordered
+simplifying transformations — fewer scenes/frames, smaller grids, noise
+and ablation knobs back to their defaults, smaller model — keeping each
+candidate that still fails.  The loop restarts from the first transform
+after every success and stops at a fixpoint (no candidate fails) or when
+the predicate-call budget runs out, so it always terminates and is fully
+deterministic: candidates are a pure function of the current spec.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Iterator, List
+
+from repro.fuzz.scenario import ModelSpec, ScenarioSpec
+
+#: Upper bound on ``still_fails`` evaluations per shrink; each
+#: evaluation replays the full scenario, so this is the cost knob.
+DEFAULT_MAX_CHECKS = 80
+
+
+def _try(spec: ScenarioSpec, **changes) -> Iterator[ScenarioSpec]:
+    """Yield the changed spec when the change is valid and is a change."""
+    try:
+        candidate = dataclasses.replace(spec, **changes)
+    except ValueError:
+        return
+    if candidate != spec:
+        yield candidate
+
+
+def candidate_shrinks(spec: ScenarioSpec) -> List[ScenarioSpec]:
+    """Ordered simplification candidates for ``spec``.
+
+    Ordering is big-win-first: workload size (scenes, frames, grids)
+    before knob resets, model last — the shrink loop restarts from the
+    top after each success, so early entries dominate.
+    """
+    candidates: List[ScenarioSpec] = []
+
+    def add(**changes) -> None:
+        candidates.extend(_try(spec, **changes))
+
+    # -- workload size -------------------------------------------------
+    add(num_scenes=1)
+    if spec.num_frames > 1:
+        for frames in {max(1, spec.num_frames // 2), spec.num_frames - 1}:
+            schedule = (spec.grid_schedule[:frames]
+                        if spec.grid_schedule else ())
+            add(num_frames=frames, grid_schedule=schedule)
+    if spec.grid > 0:
+        add(grid=spec.grid // 2)
+        add(grid=spec.grid - 1)
+    if spec.grid_schedule:
+        add(grid_schedule=())          # back to a uniform stream
+        add(grid_schedule=tuple(min(g, 1) for g in spec.grid_schedule))
+
+    # -- knob resets ---------------------------------------------------
+    add(kg_omission=0.0, kg_hallucination=0.0, kg_weight_jitter=0.0)
+    add(noise_std=0.0)
+    add(distractor_density=0.0, clutter_density=0.0)
+    add(early_deaths=False)
+    add(birth_rate=0.0, death_rate=0.0)
+    add(engine_workers=1, engine_max_batch=1)
+    add(smoothing=0.0)
+
+    # -- model ---------------------------------------------------------
+    defaults = ModelSpec()
+    if spec.model != defaults:
+        add(model=defaults)
+    if spec.model.depth > 1:
+        add(model=dataclasses.replace(spec.model, depth=1))
+    return candidates
+
+
+def shrink_spec(
+    spec: ScenarioSpec,
+    still_fails: Callable[[ScenarioSpec], bool],
+    max_checks: int = DEFAULT_MAX_CHECKS,
+) -> ScenarioSpec:
+    """Smallest spec reachable by greedy simplification that still fails.
+
+    ``spec`` itself is assumed failing and is returned unchanged when no
+    simplification preserves the failure.
+    """
+    checks = 0
+    current = spec
+    progressed = True
+    while progressed and checks < max_checks:
+        progressed = False
+        for candidate in candidate_shrinks(current):
+            if checks >= max_checks:
+                break
+            checks += 1
+            if still_fails(candidate):
+                current = candidate
+                progressed = True
+                break   # restart from the cheapest transforms
+    return current

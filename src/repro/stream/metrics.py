@@ -26,7 +26,9 @@ from repro.stream.tracker import StreamingDetector
 class StreamingMetrics:
     frame_accuracy: float
     mean_detection_latency: float   # frames; NaN if nothing detected
-    detected_fraction: float        # relevant objects detected before death
+    detected_fraction: float        # relevant objects detected while alive
+                                    # (detections at/after a recorded death
+                                    # are excluded)
     flicker_rate: float             # decision flips / (cells × frames)
     frames: int
 
@@ -76,7 +78,12 @@ def evaluate_stream(
                 previous_decisions[cell] = decision
 
         for cell, obj_id in relevant_cells.items():
-            if cell in fired and obj_id not in detect_frame:
+            # "Detected before death": a track covering the cell only
+            # counts while the object is still alive.  Sequences that
+            # announce a death on (or before) the frame the track first
+            # fires — truncation semantics, lagging hysteresis — must
+            # not credit the dead object.
+            if cell in fired and obj_id not in dead and obj_id not in detect_frame:
                 detect_frame[obj_id] = state.index
 
     latencies = [detect_frame[i] - birth_frame[i]

@@ -78,17 +78,25 @@ class StreamingDetector:
 
     # ------------------------------------------------------------------
     @staticmethod
-    def _cells_and_windows(scene: Scene) -> Tuple[List[Tuple[int, int]], List[np.ndarray]]:
+    def _cells_and_windows(scene: Scene) -> Tuple[List[Tuple[int, int]], np.ndarray]:
         cells = []
         windows = []
         for row, col, _bbox, window in scene.iter_cells():
             cells.append((row, col))
             windows.append(window)
-        return cells, windows
+        if windows:
+            return cells, np.stack(windows)
+        # Zero-cell scene (degenerate grid): a well-formed zero-row batch
+        # rides the same empty-batch path predict_windows already guards,
+        # instead of crashing in np.stack on an empty list.
+        channels = scene.image.shape[0] if scene.image.ndim == 3 else 3
+        return cells, np.zeros(
+            (0, channels, scene.cell_size, scene.cell_size),
+            dtype=scene.image.dtype if scene.image.size else np.float32)
 
     def _cell_scores(self, scene: Scene) -> Dict[Tuple[int, int], float]:
         cells, windows = self._cells_and_windows(scene)
-        predictions = predict_windows(self.model, np.stack(windows),
+        predictions = predict_windows(self.model, windows,
                                       batch_size=self.batch_size)
         # Same scoring rule as TaskDetector — one shared implementation.
         _, _, combined = score_predictions(predictions, self.matcher)
@@ -112,12 +120,18 @@ class StreamingDetector:
         if not scenes:
             return []
         per_frame_cells: List[List[Tuple[int, int]]] = []
-        all_windows: List[np.ndarray] = []
+        parts: List[np.ndarray] = []
         for scene in scenes:
             cells, windows = self._cells_and_windows(scene)
             per_frame_cells.append(cells)
-            all_windows.extend(windows)
-        predictions = predict_windows(self.model, np.stack(all_windows),
+            parts.append(windows)
+        # Zero-cell frames contribute zero-row parts; dropping them keeps
+        # the concatenate well-formed even when frame shapes differ only
+        # through degenerate grids (an all-empty chunk scores nothing).
+        nonempty = [p for p in parts if p.shape[0]]
+        all_windows = (np.concatenate(nonempty, axis=0) if nonempty
+                       else parts[0])
+        predictions = predict_windows(self.model, all_windows,
                                       batch_size=self.batch_size)
         _, _, combined = score_predictions(predictions, self.matcher)
         snapshots: List[List[Track]] = []
@@ -125,23 +139,38 @@ class StreamingDetector:
         for cells in per_frame_cells:
             stop = start + len(cells)
             raw = dict(zip(cells, combined[start:stop]))
-            # copy: callers mutate nothing, but each frame needs its own list
-            snapshots.append(list(self._advance(raw)))
+            # Deep-copy the snapshot: tracks are mutable and advance in
+            # place on later frames, so sharing the Track objects would
+            # silently rewrite frame 0's scores to frame k's.
+            snapshots.append([dataclasses.replace(t)
+                              for t in self._advance(raw)])
             start = stop
         return snapshots
 
     def _advance(self, raw: Dict[Tuple[int, int], float]) -> List[Track]:
-        """Advance one frame of EMA + hysteresis from raw cell scores."""
+        """Advance one frame of EMA + hysteresis from raw cell scores.
+
+        Cells absent from ``raw`` (shrinking grids, degenerate frames,
+        gated windows) are *unobserved*: their EMA decays toward zero —
+        an unobserved cell is evidence of nothing, not of persistence —
+        their tracks count the frame as missed, and stale smoothed
+        scores never give birth to new tracks.
+        """
         self._frame += 1
         cfg = self.config
         for cell, score in raw.items():
             previous = self._ema.get(cell, score)
             self._ema[cell] = cfg.smoothing * previous + (1 - cfg.smoothing) * float(score)
+        for cell in self._ema:
+            if cell not in raw:
+                # EMA update with an implicit zero observation.
+                self._ema[cell] *= cfg.smoothing
 
         for cell, smoothed in self._ema.items():
+            observed = cell in raw
             track = self._tracks.get(cell)
             if track is None or not track.active:
-                if smoothed >= cfg.on_threshold:
+                if observed and smoothed >= cfg.on_threshold:
                     track = Track(track_id=self._next_track_id, cell=cell,
                                   first_frame=self._frame,
                                   last_frame=self._frame, score=smoothed)
@@ -151,7 +180,7 @@ class StreamingDetector:
                 continue
             # active track: hysteresis
             track.score = smoothed
-            if smoothed >= cfg.off_threshold:
+            if observed and smoothed >= cfg.off_threshold:
                 track.last_frame = self._frame
                 track.missed = 0
             else:

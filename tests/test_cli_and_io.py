@@ -175,3 +175,53 @@ class TestArtifactsCLI:
             handle.write("{ nope")
         assert main(["models"]) == 0
         assert "unreadable meta" in capsys.readouterr().out
+
+
+class TestFuzzCLI:
+    def test_fuzz_run_smoke(self, capsys, tmp_path):
+        assert main(["fuzz", "run", "--seed", "0", "--budget", "4",
+                     "--artifacts-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "4 scenarios" in out and "0 divergent" in out
+        assert not list(tmp_path.glob("*.json"))   # no divergence, no case
+
+    def test_fuzz_corpus_smoke(self, capsys):
+        assert main(["fuzz", "corpus"]) == 0
+        out = capsys.readouterr().out
+        assert "bug_zero_cells.json: ok" in out
+        assert "0 divergent" in out
+
+    def test_fuzz_corpus_empty_dir_fails(self, capsys, tmp_path):
+        assert main(["fuzz", "corpus", "--dir", str(tmp_path)]) == 1
+        assert "no corpus case files" in capsys.readouterr().out
+
+    def test_fuzz_replay_clean_case(self, capsys):
+        from repro.fuzz import default_corpus_dir
+
+        case = str(default_corpus_dir() / "bug_stale_aging.json")
+        assert main(["fuzz", "replay", case]) == 0
+        assert "no divergence" in capsys.readouterr().out
+
+    def test_fuzz_replay_reports_divergence(self, capsys, tmp_path,
+                                            monkeypatch):
+        """A recorded divergence replays deterministically to exit 1."""
+        import json
+
+        import repro.fuzz.runner as runner_module
+        from repro.fuzz import default_corpus_dir
+        from repro.fuzz.oracles import Divergence
+
+        def broken_oracle(spec, ctx):
+            return [Divergence("stream_fused", "synthetic divergence")]
+
+        monkeypatch.setattr(runner_module, "ORACLES",
+                            (("stream_fused", broken_oracle),))
+        with open(default_corpus_dir() / "bug_zero_cells.json") as handle:
+            case = json.load(handle)
+        case["divergences"] = [{"oracle": "stream_fused",
+                                "message": "synthetic divergence",
+                                "details": {}}]
+        path = tmp_path / "divergent.json"
+        path.write_text(json.dumps(case))
+        assert main(["fuzz", "replay", str(path)]) == 1
+        assert "synthetic divergence" in capsys.readouterr().out

@@ -132,3 +132,175 @@ class TestEvaluateStream:
             "frame_accuracy", "mean_detection_latency", "detected_fraction",
             "flicker_rate", "frames",
         }
+
+
+class _ScriptedDetector:
+    """Minimal detector stub: fires a fixed cell set every frame."""
+
+    def __init__(self, cells):
+        self._cells = list(cells)
+        self._next_id = 0
+
+    def update(self, scene):
+        tracks = [Track(track_id=i, cell=cell, first_frame=0, last_frame=0,
+                        score=1.0)
+                  for i, cell in enumerate(self._cells)]
+        return tracks
+
+
+class _ScriptedFrames:
+    def __init__(self, states):
+        self._states = list(states)
+
+    def frames(self, count):
+        yield from self._states[:count]
+
+
+class TestStreamFixRegressions:
+    """One regression test per bug fixed in this PR (see ISSUE 6)."""
+
+    # -- fix 1: zero-cell scenes must not crash ------------------------
+    def test_update_on_zero_cell_scene(self, student_vit):
+        from repro.data import SceneGenerator
+
+        detector = StreamingDetector(student_vit, matcher=None)
+        empty = SceneGenerator(SceneConfig(grid=0), seed=0).generate()
+        assert detector.update(empty) == []
+
+    def test_update_many_with_zero_cell_frames(self, student_vit):
+        from repro.data import SceneGenerator
+
+        scenes = [
+            SceneGenerator(SceneConfig(grid=2), seed=1).generate(),
+            SceneGenerator(SceneConfig(grid=0), seed=2).generate(),
+            SceneGenerator(SceneConfig(grid=1), seed=3).generate(),
+        ]
+        config = TrackerConfig(on_threshold=0.05, off_threshold=0.02)
+        fused = StreamingDetector(student_vit, matcher=None,
+                                  config=config).update_many(scenes)
+        sequential_detector = StreamingDetector(student_vit, matcher=None,
+                                                config=config)
+        sequential = [
+            [Track(**vars(t)) for t in sequential_detector.update(scene)]
+            for scene in scenes
+        ]
+        assert len(fused) == 3
+        for fused_frame, seq_frame in zip(fused, sequential):
+            assert ([(t.track_id, t.cell, t.last_frame, t.missed, t.score)
+                     for t in fused_frame]
+                    == [(t.track_id, t.cell, t.last_frame, t.missed, t.score)
+                        for t in seq_frame])
+
+    def test_all_zero_cell_chunk(self, student_vit):
+        from repro.data import SceneGenerator
+
+        empty = SceneGenerator(SceneConfig(grid=0), seed=4).generate()
+        detector = StreamingDetector(student_vit, matcher=None)
+        assert detector.update_many([empty, empty]) == [[], []]
+
+    # -- fix 2: unobserved cells must decay and age --------------------
+    def test_unobserved_track_ages_out(self, student_vit):
+        detector = StreamingDetector(
+            student_vit, matcher=None,
+            config=TrackerConfig(smoothing=0.5, on_threshold=0.4,
+                                 off_threshold=0.2, max_missed_frames=2))
+        cell = (0, 0)
+        tracks = detector._advance({cell: 0.9})
+        assert len(tracks) == 1 and tracks[0].missed == 0
+        # the cell is never observed again: the track must age out
+        for expected_missed in (1, 2):
+            tracks = detector._advance({})
+            assert len(tracks) == 1
+            assert tracks[0].missed == expected_missed
+            assert tracks[0].last_frame == 0
+        assert detector._advance({}) == []        # missed=3 > budget: dead
+
+    def test_unobserved_cell_ema_decays(self, student_vit):
+        detector = StreamingDetector(
+            student_vit, matcher=None,
+            config=TrackerConfig(smoothing=0.5, on_threshold=0.95,
+                                 off_threshold=0.9))
+        cell = (1, 1)
+        detector._advance({cell: 0.8})
+        assert detector._ema[cell] == pytest.approx(0.8)
+        detector._advance({})
+        assert detector._ema[cell] == pytest.approx(0.4)
+
+    def test_no_birth_from_stale_ema(self, student_vit):
+        detector = StreamingDetector(
+            student_vit, matcher=None,
+            config=TrackerConfig(smoothing=0.0, on_threshold=0.3,
+                                 off_threshold=0.1))
+        # high smoothed score left over from an earlier frame
+        detector._ema[(2, 2)] = 0.99
+        assert detector._advance({}) == []
+
+    # -- fix 3: update_many snapshots must be frame-local copies -------
+    def test_update_many_snapshots_are_isolated(self, student_vit):
+        config = SequenceConfig(birth_rate=0.0, death_rate=0.0)
+        seq = SceneSequence(config, seed=12)
+        scenes = [seq.step().scene for _ in range(3)]
+        detector = StreamingDetector(
+            student_vit, matcher=None,
+            config=TrackerConfig(on_threshold=0.05, off_threshold=0.02))
+        snapshots = detector.update_many(scenes)
+        first, last = snapshots[0], snapshots[-1]
+        assert first, "expected tracks on frame 0 at this threshold"
+        for track in first:
+            assert track.last_frame == 0      # pre-fix: rewritten to 2
+        shared = {id(t) for t in first} & {id(t) for t in last}
+        assert not shared
+
+    def test_update_many_matches_repeated_update(self, student_vit):
+        seq = SceneSequence(SequenceConfig(), seed=13)
+        scenes = [seq.step().scene for _ in range(3)]
+        config = TrackerConfig(on_threshold=0.05, off_threshold=0.02)
+        fused = StreamingDetector(student_vit, matcher=None,
+                                  config=config).update_many(scenes)
+        sequential_detector = StreamingDetector(student_vit, matcher=None,
+                                                config=config)
+        for scene, fused_frame in zip(scenes, fused):
+            expected = sequential_detector.update(scene)
+            assert ([(t.track_id, t.cell, t.first_frame, t.last_frame,
+                      t.missed, t.active) for t in fused_frame]
+                    == [(t.track_id, t.cell, t.first_frame, t.last_frame,
+                         t.missed, t.active) for t in expected])
+            for fused_track, seq_track in zip(fused_frame, expected):
+                assert fused_track.score == pytest.approx(seq_track.score,
+                                                          abs=1e-5)
+
+    # -- fix 4: evaluate_stream must not credit post-death detections --
+    @staticmethod
+    def _one_object_frames(deaths_on_frame0):
+        from repro.data.ontology import sample_profile
+        from repro.data.scenes import ObjectInstance, Scene
+        from repro.stream.sequence import FrameState
+
+        rng = np.random.default_rng(0)
+        profile = sample_profile(rng).replace(
+            color="red", shape="square", texture="solid")
+        scene = Scene(
+            image=np.zeros((3, 32, 32), dtype=np.float32),
+            objects=[ObjectInstance(profile=profile, bbox=(0, 0, 32, 32),
+                                    category=None, cell=(0, 0))],
+            grid=1, cell_size=32)
+        return [FrameState(index=0, scene=scene, object_ids=[7], births=[7],
+                           deaths=([7] if deaths_on_frame0 else []))]
+
+    def test_detection_after_death_not_credited(self):
+        task = get_task("stop_control")
+        detector = _ScriptedDetector([(0, 0)])
+        states = self._one_object_frames(deaths_on_frame0=True)
+        metrics = evaluate_stream(detector, _ScriptedFrames(states), task,
+                                  num_frames=1)
+        assert metrics.detected_fraction == 0.0
+        assert np.isnan(metrics.mean_detection_latency)
+
+    def test_detection_while_alive_still_credited(self):
+        task = get_task("stop_control")
+        detector = _ScriptedDetector([(0, 0)])
+        states = self._one_object_frames(deaths_on_frame0=False)
+        metrics = evaluate_stream(detector, _ScriptedFrames(states), task,
+                                  num_frames=1)
+        assert metrics.detected_fraction == 1.0
+        assert metrics.mean_detection_latency == 0.0
