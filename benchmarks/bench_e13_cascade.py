@@ -1,0 +1,220 @@
+"""E13 — Adaptive dual-config cascade: recovery/cost frontier.
+
+The cascade runs the quantized generalist on every scene and escalates
+only low-margin scenes to the float task specialist.  This benchmark
+measures what that buys: per mission task, the calibrated operating
+point on the recovery/cost frontier and the realized behaviour of that
+point on held-out scenes.
+
+Costs come from the hardware simulator, not wall clocks: the fast path
+is the compiled int8 program on the edge accelerator (batch 1, the
+streaming case), an escalation is the same workload through the
+calibrated Jetson-class GPU roofline — the deployment the paper argues
+against running everything on.  The resulting per-scene cost ratio
+(~8x) prices escalations during calibration, so "relative cost" below
+means cascade cost over the all-specialist cost under simulated
+hardware latencies.
+
+**Acceptance gate** (full mode): the deployed gate task's calibrated
+operating point must recover at least ``TARGET_RECOVERY`` (80%) of the
+specialist's accuracy advantage at no more than ``MAX_RELATIVE_COST``
+(40%) of the all-specialist cost; the run exits non-zero otherwise.
+Held-out rows are reported alongside for generalization honesty but are
+not gated — with tens of scenes the specialist delta is small enough
+that held-out recovery is noise-dominated.
+
+Calibrations persist through :class:`repro.cascade.CalibrationStore`
+under the artifact registry, where ``repro cascade show`` and the
+serving path can load them.
+
+Run standalone:
+
+    PYTHONPATH=src python benchmarks/bench_e13_cascade.py
+    PYTHONPATH=src python benchmarks/bench_e13_cascade.py --smoke
+
+``--smoke`` shrinks scene counts and the task list (CI-friendly) while
+keeping the ``cascade.route`` / detect stage *shares* stable for the CI
+regression gate (``repro obs compare --metric share``).  Both modes
+persist telemetry to ``BENCH_e13_cascade.json``.
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+from benchmarks.common import (
+    DECISION_THRESHOLD,
+    EVAL_SEED,
+    builder,
+    finalize_benchmark,
+    print_table,
+    quantized_configuration,
+    specialist,
+    task_matcher,
+)
+from repro.cascade import (
+    CalibrationStore,
+    CascadeConfig,
+    CascadeRouter,
+    calibrate_margin_threshold,
+    scene_cell_accuracy,
+)
+from repro.data import SceneConfig, SceneGenerator, get_task
+from repro.detect import TaskDetector
+from repro.hw import AcceleratorConfig, Compiler, GPUConfig, GPUModel, Simulator
+from repro.obs import get_registry
+
+#: Missions benchmarked in full mode; the first is the acceptance gate.
+GATE_TASK = "roadside_hazards"
+TASKS = [GATE_TASK, "valve_inspection", "cargo_audit", "stop_control"]
+
+CAL_SEED = EVAL_SEED          # calibration scenes
+HELDOUT_SEED = EVAL_SEED * 2  # disjoint deployment scenes
+
+TARGET_RECOVERY = 0.8
+MAX_RELATIVE_COST = 0.4
+
+
+def measure_cost_ratio():
+    """Per-scene cost of an escalation in units of the fast path.
+
+    Both numbers simulate the same batch-1 program: the accelerator
+    runs it as compiled int8 (fast path), the Jetson-class GPU roofline
+    prices the float specialist an escalation pays for.
+    """
+    accel_config = AcceleratorConfig.edge_default()
+    program = Compiler(accel_config).compile(quantized_configuration().model)
+    accel = Simulator(accel_config).simulate(program)
+    gpu = GPUModel(GPUConfig.jetson_class()).simulate(program)
+    return {
+        "accel_ms": accel.latency_ms,
+        "gpu_ms": gpu.latency_ms,
+        "cost_ratio": gpu.latency_s / accel.latency_s,
+    }
+
+
+def _detector(model, task_name):
+    return TaskDetector(model, matcher=task_matcher(task_name),
+                        score_threshold=DECISION_THRESHOLD)
+
+
+def run_experiment(smoke: bool = False):
+    """Calibrate + deploy the cascade per task; returns (tables, gate_row)."""
+    registry = get_registry()
+    registry.reset()  # isolate this run's spans for the share gate
+    tasks = TASKS[:1] if smoke else TASKS
+    num_cal, num_heldout = (8, 8) if smoke else (64, 64)
+
+    cost = measure_cost_ratio()
+    ratio = cost["cost_ratio"]
+    store = CalibrationStore(builder().registry)
+    quantized = quantized_configuration().model
+
+    calibration_rows = []
+    heldout_rows = []
+    for name in tasks:
+        task = get_task(name)
+        fast = _detector(quantized, name)
+        spec = _detector(specialist(name).model, name)
+
+        cal_scenes = SceneGenerator(SceneConfig(),
+                                    seed=CAL_SEED).generate_batch(num_cal)
+        cal = calibrate_margin_threshold(
+            fast, spec, cal_scenes, task,
+            fast_cost=1.0, specialist_cost=ratio,
+            target_recovery=TARGET_RECOVERY,
+            max_relative_cost=MAX_RELATIVE_COST,
+        )
+        store.save(name, cal)
+        calibration_rows.append({
+            "task": name,
+            "threshold": cal.margin_threshold,
+            "escalation": cal.escalation_fraction,
+            "fast_acc": cal.fast_accuracy,
+            "spec_acc": cal.specialist_accuracy,
+            "cascade_acc": cal.cascade_accuracy,
+            "recovery": cal.recovery,
+            "rel_cost": cal.relative_cost,
+            "meets": cal.meets_targets,
+        })
+
+        # Deploy the calibrated threshold on disjoint scenes through the
+        # real router (cascade.route spans + cascade.* counters).
+        heldout = SceneGenerator(SceneConfig(),
+                                 seed=HELDOUT_SEED).generate_batch(num_heldout)
+        router = CascadeRouter(fast, spec, config=CascadeConfig(
+            margin_threshold=cal.margin_threshold))
+        results, decisions = router.detect_batch(heldout)
+        escalated = sum(d.route == "escalated" for d in decisions)
+        n = len(heldout)
+        cascade_acc = sum(scene_cell_accuracy(s, r, task)
+                          for s, r in zip(heldout, results)) / n
+        fast_acc = sum(scene_cell_accuracy(s, r, task)
+                       for s, r in zip(heldout, fast.detect_batch(heldout))) / n
+        spec_acc = sum(scene_cell_accuracy(s, r, task)
+                       for s, r in zip(heldout, spec.detect_batch(heldout))) / n
+        delta = spec_acc - fast_acc
+        recovery = 1.0 if delta <= 0 else (cascade_acc - fast_acc) / delta
+        heldout_rows.append({
+            "task": name,
+            "escalated": escalated,
+            "scenes": n,
+            "fast_acc": fast_acc,
+            "spec_acc": spec_acc,
+            "cascade_acc": cascade_acc,
+            "recovery": recovery,
+            "rel_cost": (n * 1.0 + escalated * ratio) / (n * ratio),
+        })
+
+    tables = {
+        "costs": [cost],
+        "calibration": calibration_rows,
+        "heldout": heldout_rows,
+    }
+    gate_row = next((row for row in calibration_rows
+                     if row["task"] == GATE_TASK), None)
+    return tables, gate_row
+
+
+def _print_results(tables) -> None:
+    print_table("E13: simulated per-scene costs (fast=accel, escalation=GPU)",
+                tables["costs"])
+    print_table("E13: calibrated operating points (gate table)",
+                tables["calibration"])
+    print_table("E13: held-out deployment of the calibrated threshold",
+                tables["heldout"])
+    print()
+    print(get_registry().report("E13 cascade routing"))
+
+
+def test_e13_cascade(benchmark):
+    tables, gate_row = benchmark.pedantic(
+        run_experiment, kwargs={"smoke": True}, rounds=1, iterations=1)
+    _print_results(tables)
+    assert tables["costs"][0]["cost_ratio"] > 1.0
+    assert gate_row is not None
+    # Smoke scenes are too few to gate recovery; check the sweep is sane.
+    assert 0.0 <= gate_row["escalation"] <= 1.0
+    assert gate_row["rel_cost"] <= 1.0 + 1.0 / tables["costs"][0]["cost_ratio"]
+    # The calibration must have persisted where the CLI can find it.
+    assert CalibrationStore(builder().registry).exists(GATE_TASK)
+
+
+def main():
+    smoke = "--smoke" in sys.argv[1:]
+    tables, gate_row = run_experiment(smoke=smoke)
+    _print_results(tables)
+    finalize_benchmark("e13_cascade", **tables)
+    failed = False
+    if not smoke and gate_row is not None and not gate_row["meets"]:
+        print(f"WARNING: {GATE_TASK} calibrated cascade recovers "
+              f"{gate_row['recovery']:.0%} of the specialist advantage at "
+              f"{gate_row['rel_cost']:.0%} relative cost (targets: "
+              f">={TARGET_RECOVERY:.0%} at <={MAX_RELATIVE_COST:.0%})")
+        failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,45 @@
+"""Adaptive dual-configuration cascade (quantized first, escalate on doubt).
+
+Operationalizes the paper's central tradeoff: the quantized generalist
+runs on every scene, and only low-margin (or fingerprint-pinned) scenes
+escalate to the task-specific distilled specialist — under a
+deterministic escalation budget and a load-shedding check against the
+serving engine's queue.  See ``repro.cascade.router`` for the policy,
+``repro.cascade.calibrate`` for threshold calibration and its persisted
+artifacts, and ``ITaskPipeline.cascade_session`` for the entry point.
+"""
+
+from repro.cascade.router import (
+    ESCALATED,
+    FAST_PATH,
+    SHED,
+    CascadeConfig,
+    CascadeRouter,
+    EscalationBudget,
+    RouteDecision,
+)
+from repro.cascade.session import CascadeSession, SpecialistRegistry
+from repro.cascade.calibrate import (
+    CalibrationPoint,
+    CalibrationStore,
+    CascadeCalibration,
+    calibrate_margin_threshold,
+    scene_cell_accuracy,
+)
+
+__all__ = [
+    "ESCALATED",
+    "FAST_PATH",
+    "SHED",
+    "CascadeConfig",
+    "CascadeRouter",
+    "EscalationBudget",
+    "RouteDecision",
+    "CascadeSession",
+    "SpecialistRegistry",
+    "CalibrationPoint",
+    "CalibrationStore",
+    "CascadeCalibration",
+    "calibrate_margin_threshold",
+    "scene_cell_accuracy",
+]

@@ -38,6 +38,12 @@ Commands
     exit + replayable JSON case files on any oracle divergence),
     deterministically replay a recorded case, and re-check the committed
     seed corpus.
+``cascade {route,calibrate,show}``
+    the adaptive dual-config cascade: route generated scenes through
+    quantized-first detection with margin-triggered specialist
+    escalation (per-scene decision audit), sweep the recovery/cost
+    frontier to calibrate the margin threshold (optionally persisting
+    it in the artifact registry), and inspect stored calibrations.
 """
 
 from __future__ import annotations
@@ -466,6 +472,153 @@ def _cmd_fuzz_corpus(args: argparse.Namespace) -> int:
     return 0 if failures == 0 else 1
 
 
+def _measured_cost_ratio() -> float:
+    """Escalation cost in fast-path units from the hardware simulator.
+
+    Same pricing as benchmark E13: the compiled int8 program at batch 1
+    on the edge accelerator vs the Jetson-class GPU roofline.
+    """
+    from repro.core import ArtifactBuilder
+    from repro.hw import (
+        AcceleratorConfig,
+        Compiler,
+        GPUConfig,
+        GPUModel,
+        Simulator,
+    )
+
+    config = AcceleratorConfig.edge_default()
+    program = Compiler(config).compile(ArtifactBuilder(seed=0).quantized().model)
+    accel = Simulator(config).simulate(program)
+    gpu = GPUModel(GPUConfig.jetson_class()).simulate(program)
+    return gpu.latency_s / accel.latency_s
+
+
+def _cmd_cascade_route(args: argparse.Namespace) -> int:
+    from repro.cascade import CalibrationStore, CascadeConfig
+    from repro.core import ArtifactBuilder, ITaskPipeline, TaskSpec
+    from repro.data import SceneConfig, SceneGenerator, get_task
+    from repro.kg import SimulatedLLM
+    from repro.obs import get_registry
+
+    task = get_task(args.task)
+    builder = ArtifactBuilder(seed=args.seed)
+    pipeline = ITaskPipeline(builder.quantized())
+    pipeline.register_specialist(args.task,
+                                 builder.task_student_by_name(args.task),
+                                 SimulatedLLM().generate_for_task(task))
+
+    threshold, source = args.threshold, "--threshold"
+    if threshold is None:
+        store = CalibrationStore(builder.registry)
+        if store.exists(args.task):
+            threshold = store.load(args.task).margin_threshold
+            source = "stored calibration"
+        else:
+            threshold = CascadeConfig().margin_threshold
+            source = "default"
+    config = CascadeConfig(margin_threshold=threshold,
+                           max_escalation_fraction=args.max_escalation)
+    session = pipeline.cascade_session(TaskSpec.from_definition(task),
+                                       config=config)
+    scenes = SceneGenerator(SceneConfig(), seed=args.scene_seed).generate_batch(
+        args.scenes)
+    results, decisions = session.route_batch(scenes)
+    print(f"cascade over {len(scenes)} scenes "
+          f"(threshold={threshold:.3f} from {source}, "
+          f"budget={args.max_escalation:g})")
+    for dets, decision in zip(results, decisions):
+        print(f"  scene {decision.scene_index:>3}: {decision.route:<9} "
+              f"margin={decision.margin:.3f} detections={len(dets):<3} "
+              f"[{decision.reason}]")
+    counts = session.route_counts()
+    print("routes: " + ", ".join(f"{route}={count}"
+                                 for route, count in sorted(counts.items())))
+    print(f"cascade task accuracy: {session.evaluate(scenes):.4f}")
+    counters = get_registry().counters
+    observed = {name: int(counter.value)
+                for name, counter in sorted(counters.items())
+                if name.startswith("cascade.")}
+    if observed:
+        print("obs counters: " + ", ".join(f"{k}={v}"
+                                           for k, v in observed.items()))
+    return 0
+
+
+def _cmd_cascade_calibrate(args: argparse.Namespace) -> int:
+    from repro.cascade import CalibrationStore, calibrate_margin_threshold
+    from repro.core import ArtifactBuilder
+    from repro.data import SceneConfig, SceneGenerator, get_task
+    from repro.detect import TaskDetector
+    from repro.kg import GraphMatcher, SimulatedLLM
+
+    task = get_task(args.task)
+    builder = ArtifactBuilder(seed=args.seed)
+    ratio = args.cost_ratio if args.cost_ratio else _measured_cost_ratio()
+    kg = SimulatedLLM().generate_for_task(task)
+    fast = TaskDetector(builder.quantized().model, matcher=GraphMatcher(kg),
+                        score_threshold=args.score_threshold)
+    spec = TaskDetector(builder.task_student_by_name(args.task).model,
+                        matcher=GraphMatcher(kg),
+                        score_threshold=args.score_threshold)
+    scenes = SceneGenerator(SceneConfig(), seed=args.scene_seed).generate_batch(
+        args.scenes)
+    calibration = calibrate_margin_threshold(
+        fast, spec, scenes, task,
+        fast_cost=1.0, specialist_cost=ratio,
+        target_recovery=args.target_recovery,
+        max_relative_cost=args.max_cost,
+    )
+    print(f"calibrated {args.task} on {len(scenes)} scenes "
+          f"(escalation costs {ratio:.2f}x the fast path)")
+    print(f"  fast acc       : {calibration.fast_accuracy:.4f}")
+    print(f"  specialist acc : {calibration.specialist_accuracy:.4f}")
+    print(f"  threshold      : {calibration.margin_threshold:.4f}")
+    print(f"  escalation     : {calibration.escalation_fraction:.1%}")
+    print(f"  recovery       : {calibration.recovery:.1%} "
+          f"(target {calibration.target_recovery:.0%})")
+    print(f"  relative cost  : {calibration.relative_cost:.1%} "
+          f"(cap {calibration.max_relative_cost:.0%})")
+    print(f"  meets targets  : {calibration.meets_targets}")
+    if args.frontier:
+        print(f"\n  {'threshold':>9} | {'escalation':>10} | "
+              f"{'recovery':>8} | {'rel cost':>8}")
+        for point in calibration.frontier:
+            print(f"  {point.margin_threshold:>9.4f} | "
+                  f"{point.escalation_fraction:>10.1%} | "
+                  f"{point.recovery:>8.1%} | {point.relative_cost:>8.1%}")
+    if args.save:
+        path = CalibrationStore(builder.registry).save(args.task, calibration)
+        print(f"\nsaved to {path}")
+    return 0 if calibration.meets_targets or not args.gate else 1
+
+
+def _cmd_cascade_show(args: argparse.Namespace) -> int:
+    from repro.cascade import CalibrationStore
+    from repro.core import ModelRegistry, default_artifact_dir
+
+    store = CalibrationStore(ModelRegistry(args.dir or default_artifact_dir()))
+    names = store.names()
+    if args.name is None:
+        if not names:
+            print(f"no calibrations stored under {store.root}")
+            return 0
+        width = max(len(name) for name in names)
+        for name in names:
+            cal = store.load(name)
+            marker = "meets" if cal.meets_targets else "     "
+            print(f"{name.ljust(width)}  thr={cal.margin_threshold:.4f} "
+                  f"esc={cal.escalation_fraction:>5.1%} "
+                  f"rec={cal.recovery:>5.1%} cost={cal.relative_cost:>5.1%} "
+                  f"[{marker}] n={cal.num_scenes}")
+        return 0
+    import json
+
+    print(json.dumps(store.load(args.name).to_dict(), indent=2,
+                     sort_keys=True))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -636,6 +789,55 @@ def build_parser() -> argparse.ArgumentParser:
                                   "tests/fuzz_corpus)")
     fuzz_corpus.add_argument("--max-print", type=int, default=10)
     fuzz_corpus.set_defaults(func=_cmd_fuzz_corpus)
+
+    cascade = sub.add_parser(
+        "cascade", help="adaptive dual-config cascade (quantized first, "
+                        "escalate on doubt)")
+    cascade_sub = cascade.add_subparsers(dest="cascade_command", required=True)
+
+    cascade_route = cascade_sub.add_parser(
+        "route", help="route generated scenes; print per-scene decisions")
+    cascade_route.add_argument("--task", required=True)
+    cascade_route.add_argument("--seed", type=int, default=0,
+                               help="artifact cache seed")
+    cascade_route.add_argument("--scene-seed", type=int, default=42)
+    cascade_route.add_argument("--scenes", type=int, default=8)
+    cascade_route.add_argument("--threshold", type=float, default=None,
+                               help="margin threshold (default: the stored "
+                                    "calibration, else the config default)")
+    cascade_route.add_argument("--max-escalation", type=float, default=1.0,
+                               help="escalation budget fraction "
+                                    "(>= 1 disables)")
+    cascade_route.set_defaults(func=_cmd_cascade_route)
+
+    cascade_cal = cascade_sub.add_parser(
+        "calibrate",
+        help="sweep the recovery/cost frontier; pick the margin threshold")
+    cascade_cal.add_argument("--task", required=True)
+    cascade_cal.add_argument("--seed", type=int, default=0)
+    cascade_cal.add_argument("--scene-seed", type=int, default=10_000)
+    cascade_cal.add_argument("--scenes", type=int, default=64)
+    cascade_cal.add_argument("--score-threshold", type=float, default=0.35)
+    cascade_cal.add_argument("--cost-ratio", type=float, default=None,
+                             help="escalation cost in fast-path units "
+                                  "(default: measure via the hw simulator)")
+    cascade_cal.add_argument("--target-recovery", type=float, default=0.8)
+    cascade_cal.add_argument("--max-cost", type=float, default=0.4)
+    cascade_cal.add_argument("--frontier", action="store_true",
+                             help="print every swept operating point")
+    cascade_cal.add_argument("--save", action="store_true",
+                             help="persist in the artifact registry")
+    cascade_cal.add_argument("--gate", action="store_true",
+                             help="exit 1 when the targets are not met")
+    cascade_cal.set_defaults(func=_cmd_cascade_calibrate)
+
+    cascade_show = cascade_sub.add_parser(
+        "show", help="list stored calibrations, or dump one as JSON")
+    cascade_show.add_argument("name", nargs="?", default=None)
+    cascade_show.add_argument("--dir", default=None,
+                              help="registry directory (default: "
+                                   "REPRO_ARTIFACT_DIR or .artifacts/)")
+    cascade_show.set_defaults(func=_cmd_cascade_show)
     return parser
 
 

@@ -30,6 +30,8 @@ from repro.kg.llm import SimulatedLLM
 from repro.kg.matcher import GraphMatcher
 from repro.kg.refinement import refine_with_examples
 from repro.kg.schema import KnowledgeGraph
+from repro.cascade.router import CascadeConfig, CascadeRouter
+from repro.cascade.session import CascadeSession, SpecialistRegistry
 from repro.serve.session import MissionSession, SessionCache, mission_fingerprint
 
 
@@ -88,6 +90,8 @@ class ITaskPipeline:
         # register_specialist(); an empty selector is the safe default.
         self.selector = selector or ConfigurationSelector()
         self.sessions = SessionCache(capacity=session_capacity)
+        # Mission-fingerprint -> specialist pins for the cascade router.
+        self.cascade_pins = SpecialistRegistry()
 
     # ------------------------------------------------------------------
     def register_specialist(self, task_name: str,
@@ -175,6 +179,79 @@ class ITaskPipeline:
             spec=spec, kg=kg, decision=decision,
             configuration=configuration, detector=detector,
         )
+
+    # -- cascade -------------------------------------------------------
+    def pin_specialist(self, spec: TaskSpec, task_name: str,
+                       multi_task: bool = False,
+                       latency_budget_ms: Optional[float] = None) -> str:
+        """Pin a mission's fingerprint to a registered specialist.
+
+        A pinned mission's cascade escalates every scene toward that
+        specialist (subject to budget and load shedding) regardless of
+        margin.  Returns the fingerprint that was pinned.
+        """
+        if task_name not in self.specialists:
+            raise KeyError(f"no registered specialist named {task_name!r}")
+        fingerprint = self._session_key(spec, multi_task, latency_budget_ms)
+        self.cascade_pins.pin(fingerprint, task_name)
+        return fingerprint
+
+    def _specialist_detector(self, task_name: str,
+                             kg: KnowledgeGraph) -> TaskDetector:
+        """A detector for one registered specialist on this mission.
+
+        Mirrors :meth:`_prepare_uncached`'s construction so escalated
+        scenes see exactly what full specialist selection would have
+        produced (the distilled task head takes over scoring; the
+        matcher only serves models without one).
+        """
+        configuration = self.specialists[task_name]
+        matcher = GraphMatcher(kg) if self.use_kg else None
+        return TaskDetector(configuration.model, matcher=matcher,
+                            score_threshold=self.score_threshold)
+
+    def cascade_session(
+        self,
+        spec: TaskSpec,
+        multi_task: bool = False,
+        latency_budget_ms: Optional[float] = None,
+        config: Optional[CascadeConfig] = None,
+    ) -> CascadeSession:
+        """A cascade over this mission: quantized first, escalate on doubt.
+
+        The fast path is always the quantized configuration with the
+        mission's knowledge graph.  The escalation target is, in order
+        of precedence: the specialist pinned to this fingerprint via
+        :meth:`pin_specialist`; the specialist full selection itself
+        chose (the mission's graph matched one — also pinned, so every
+        scene desires escalation); otherwise the most similar registered
+        specialist, used for margin-triggered escalation only.  With no
+        registered specialists the cascade degrades to the fast path.
+        """
+        session = self.session(spec, multi_task=multi_task,
+                               latency_budget_ms=latency_budget_ms)
+        result = session.result
+        if result.decision.kind == "quantized":
+            fast = result.detector
+        else:
+            matcher = GraphMatcher(result.kg) if self.use_kg else None
+            fast = TaskDetector(
+                self.quantized_configuration.model, matcher=matcher,
+                score_threshold=self.score_threshold)
+        pinned_name = self.cascade_pins.lookup(session.key)
+        name = pinned_name
+        if name is None and result.decision.kind == "task_specific":
+            name = result.decision.specialist_name
+        pinned = name is not None
+        if name is None:
+            best_name, _ = self.selector.best_specialist(result.kg)
+            name = best_name
+        specialist = (self._specialist_detector(name, result.kg)
+                      if name in self.specialists else None)
+        router = CascadeRouter(
+            fast, specialist, config=config,
+            pinned=pinned and specialist is not None)
+        return CascadeSession(session, router)
 
     # ------------------------------------------------------------------
     def detect(self, spec: TaskSpec, scene: Scene, **prepare_kwargs) -> List[Detection]:

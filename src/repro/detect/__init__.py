@@ -10,7 +10,9 @@ task-accuracy measure.
 from repro.detect.boxes import box_iou, box_area, clip_box, nms, nms_reference
 from repro.detect.pipeline import (
     Detection,
+    SceneSignals,
     TaskDetector,
+    confidence_margin,
     predict_windows,
     score_predictions,
 )
@@ -31,7 +33,9 @@ __all__ = [
     "nms",
     "nms_reference",
     "Detection",
+    "SceneSignals",
     "TaskDetector",
+    "confidence_margin",
     "predict_windows",
     "score_predictions",
     "DetectionMetrics",

@@ -139,6 +139,39 @@ def score_predictions(
     return objectness, task_scores, objectness * task_scores
 
 
+def confidence_margin(combined: np.ndarray, score_threshold: float) -> float:
+    """Distance of the closest window score to the decision threshold.
+
+    The margin is the per-scene confidence signal the cascade router
+    keys on: a small margin means at least one window sat right at the
+    emit/suppress boundary, where the quantized configuration and the
+    task-specific specialist are most likely to disagree.  A scene with
+    no windows has nothing near the boundary and scores ``inf``
+    (maximally confident).  Pure function of one scene's combined
+    scores, so it is identical across :meth:`TaskDetector.detect`,
+    :meth:`TaskDetector.detect_batch`, and the serving engine.
+    """
+    if combined.size == 0:
+        return float("inf")
+    return float(np.abs(combined - score_threshold).min())
+
+
+@dataclasses.dataclass(frozen=True)
+class SceneSignals:
+    """Per-scene confidence signals emitted alongside detections.
+
+    ``margin`` is :func:`confidence_margin`; ``max_combined`` is the best
+    window's combined score (0.0 for a windowless scene).  Both are
+    computed from the same scored windows the emitted detections came
+    from — no extra forward pass.
+    """
+
+    margin: float
+    max_combined: float
+    num_windows: int
+    num_detections: int
+
+
 @dataclasses.dataclass
 class Detection:
     """One task-relevant detection in a scene."""
@@ -348,7 +381,27 @@ class TaskDetector:
                           iou_threshold=self.nms_iou)
         return [candidates[i] for i in keep]
 
+    @staticmethod
+    def _signals(combined: np.ndarray, score_threshold: float,
+                 num_detections: int) -> SceneSignals:
+        return SceneSignals(
+            margin=confidence_margin(combined, score_threshold),
+            max_combined=float(combined.max()) if combined.size else 0.0,
+            num_windows=int(combined.size),
+            num_detections=num_detections,
+        )
+
     def detect(self, scene: Scene, stride: Optional[int] = None) -> List[Detection]:
+        return self.detect_with_signals(scene, stride=stride)[0]
+
+    def detect_with_signals(
+        self, scene: Scene, stride: Optional[int] = None,
+    ) -> Tuple[List[Detection], SceneSignals]:
+        """:meth:`detect` plus the scene's :class:`SceneSignals`.
+
+        The signals come from the same scored windows as the detections;
+        ``detect`` is exactly this with the signals dropped.
+        """
         obs = get_registry()
         task_name = self.matcher.kg.task_name if self.matcher is not None else None
         with obs.span("detect.total", task=task_name, grid=scene.grid,
@@ -365,10 +418,16 @@ class TaskDetector:
                 predictions["attribute_probs"],
                 objectness, task_scores, combined)
             span.set_attr(detections=len(detections))
-            return detections
+            return detections, self._signals(
+                combined, self.score_threshold, len(detections))
 
     def detect_batch(self, scenes: Sequence[Scene],
                      stride: Optional[int] = None) -> List[List[Detection]]:
+        return self.detect_batch_with_signals(scenes, stride=stride)[0]
+
+    def detect_batch_with_signals(
+        self, scenes: Sequence[Scene], stride: Optional[int] = None,
+    ) -> Tuple[List[List[Detection]], List[SceneSignals]]:
         """Batch-first detection: one fused model forward across scenes.
 
         Windows from every scene are concatenated into a single forward
@@ -392,12 +451,14 @@ class TaskDetector:
         obs = get_registry()
         task_name = self.matcher.kg.task_name if self.matcher is not None else None
         if not scenes:
-            return []
+            return [], []
         with obs.span("detect.batch_total", task=task_name,
                       scenes=len(scenes), vectorized=self.vectorized) as span:
             if len({(s.image.shape, s.cell_size) for s in scenes}) > 1:
                 span.set_attr(fused=False)
-                return [self.detect(scene, stride=stride) for scene in scenes]
+                pairs = [self.detect_with_signals(scene, stride=stride)
+                         for scene in scenes]
+                return [p[0] for p in pairs], [p[1] for p in pairs]
             windows, boxes_per_scene = self._windows_all(scenes, stride=stride)
             counts = [len(boxes) for boxes in boxes_per_scene]
             total = int(windows.shape[0])
@@ -426,6 +487,7 @@ class TaskDetector:
                     task_scores = np.ones_like(objectness)
                 combined = objectness * task_scores
             results: List[List[Detection]] = []
+            signals: List[SceneSignals] = []
             emitted = 0
             start = 0
             # One vectorized threshold pass; scenes without a candidate
@@ -435,6 +497,8 @@ class TaskDetector:
                 rows = slice(start, start + n)
                 if not passed[rows].any():
                     results.append([])
+                    signals.append(self._signals(
+                        combined[rows], self.score_threshold, 0))
                     start += n
                     continue
                 detections = self._emit(
@@ -442,7 +506,9 @@ class TaskDetector:
                     {f: p[rows] for f, p in attribute_probs.items()},
                     objectness[rows], task_scores[rows], combined[rows])
                 results.append(detections)
+                signals.append(self._signals(
+                    combined[rows], self.score_threshold, len(detections)))
                 emitted += len(detections)
                 start += n
             span.set_attr(detections=emitted)
-            return results
+            return results, signals

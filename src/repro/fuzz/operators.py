@@ -241,6 +241,42 @@ class EngineOperator(ScenarioOperator):
                            engine_workers=int(rng.integers(1, 3)))
 
 
+class OcclusionOperator(ScenarioOperator):
+    """Partially mask object cells (pixels only; truth intact).
+
+    Occlusion pushes window scores toward the decision threshold — the
+    regime where the cascade's margin signal and the tolerant float
+    comparison both earn their keep.
+    """
+
+    name = "occlusion"
+
+    def apply(self, spec, rng):
+        return self._stamp(
+            spec,
+            occlusion_rate=round(float(rng.uniform(0.2, 0.9)), 4),
+            occlusion_strength=float(rng.choice([0.3, 0.6, 0.9])))
+
+
+class CascadeOperator(ScenarioOperator):
+    """Cascade ablation switches: margin, budget, fingerprint pinning.
+
+    Exercises every routing regime the ``cascade_routing`` oracle
+    checks: margin-only escalation (tight and loose thresholds), a
+    binding escalation budget that forces shedding, and the pinned
+    fast-path bypass.
+    """
+
+    name = "cascade"
+
+    def apply(self, spec, rng):
+        return self._stamp(
+            spec,
+            cascade_margin=float(rng.choice([0.0, 0.05, 0.15, 0.4, 1.0])),
+            cascade_fraction=float(rng.choice([0.0, 0.25, 0.5, 1.0])),
+            cascade_pinned=bool(rng.random() < 0.3))
+
+
 #: Always applied, in order: every scenario needs a mission, a budget,
 #: and a grid before the optional stressors compose on top.
 BASE_OPERATORS: List[ScenarioOperator] = [
@@ -254,6 +290,7 @@ OPTIONAL_OPERATORS: List[ScenarioOperator] = [
     KGNoiseOperator(), AblationOperator(), ModelOperator(),
     ThresholdOperator(), TrackerOperator(), StreamDynamicsOperator(),
     GridScheduleOperator(), EarlyDeathOperator(), EngineOperator(),
+    OcclusionOperator(), CascadeOperator(),
 ]
 
 OPTIONAL_RATE = 0.4

@@ -380,10 +380,172 @@ def oracle_stream_metrics(spec: ScenarioSpec,
     return divergences
 
 
+def oracle_pipeline_session(spec: ScenarioSpec,
+                            ctx: "ExecutionContext") -> List[Divergence]:
+    """The full ``ITaskPipeline.prepare()`` + session-cache path.
+
+    Three checks:
+
+    * the pipeline's quantized serving path (LLM extraction, matcher
+      construction, session cache, fused batch detect) is bit-identical
+      to the directly-constructed quantized detector the other oracles
+      use — a fresh noisy LLM's *first* graph is deterministic, so this
+      holds under extraction noise too;
+    * a second request for the same mission (a session-cache hit) is
+      bit-identical to the first;
+    * (noise-free scenarios) replacing a registered specialist's graph
+      through ``selector.register_specialist`` must behave as if the
+      pipeline had been built with the replacement graph — the
+      session-invalidation check that caught the stale mission
+      fingerprint (graph replaced, version coincides, old session
+      served).
+    """
+    divergences: List[Divergence] = []
+    pipeline = ctx.make_pipeline()
+    task_spec = ctx.task_spec()
+    threshold = spec.score_threshold
+
+    reference = [ctx.make_detector("quantized").detect(scene)
+                 for scene in ctx.scenes]
+    first = pipeline.detect_batch(task_spec, ctx.scenes)
+    divergences += compare_detections(
+        "pipeline_session", "quantized:pipeline_vs_direct",
+        reference, first, exact=True, threshold=threshold)
+    second = pipeline.detect_batch(task_spec, ctx.scenes)
+    divergences += compare_detections(
+        "pipeline_session", "quantized:cached_session_stability",
+        first, second, exact=True, threshold=threshold)
+
+    noise_free = (spec.kg_omission == 0.0 and spec.kg_hallucination == 0.0
+                  and spec.kg_weight_jitter == 0.0)
+    if noise_free:
+        # Serve through a pipeline whose specialist graph is replaced
+        # mid-flight, vs a fresh pipeline built with the replacement
+        # graph from the start.  Any disagreement is a stale session.
+        served = ctx.make_pipeline()
+        mission_kg = served.build_kg(task_spec)
+        replacement_kg = ctx.replacement_graph(mission_kg)
+        served.register_specialist(
+            spec.task, ctx.specialist_configuration(), mission_kg)
+        served.detect_batch(task_spec, ctx.scenes)  # warm the session
+        served.selector.register_specialist(spec.task, replacement_kg)
+        after_replacement = served.detect_batch(task_spec, ctx.scenes)
+
+        fresh = ctx.make_pipeline()
+        fresh.register_specialist(
+            spec.task, ctx.specialist_configuration(), replacement_kg)
+        expected = fresh.detect_batch(task_spec, ctx.scenes)
+        divergences += compare_detections(
+            "pipeline_session", "graph_replacement_invalidation",
+            expected, after_replacement, exact=True, threshold=threshold)
+    return divergences
+
+
+def oracle_cascade_routing(spec: ScenarioSpec,
+                           ctx: "ExecutionContext") -> List[Divergence]:
+    """Cascade output == whichever single config the scene routed to.
+
+    * With a non-binding budget, routing decisions are identical across
+      per-scene ``detect``, fused ``detect_batch``, and the
+      micro-batching engine (routing is a pure per-scene function of the
+      batch-invariant quantized outputs).
+    * Every scene's cascade output equals the routed-to configuration's
+      own output: bit for bit on the fast/shed (quantized) path,
+      tolerance-checked on the escalated (float) path.
+    * Under the spec's (possibly binding) budget, escalations never
+      exceed the budget's window bound, shed scenes still return the
+      quantized result bit for bit, and a fraction-zero budget escalates
+      nothing.
+    """
+    from repro.cascade.router import (
+        ESCALATED, FAST_PATH, SHED, CascadeConfig, CascadeRouter,
+    )
+
+    divergences: List[Divergence] = []
+    scenes = ctx.scenes
+    threshold = spec.score_threshold
+
+    def make_router(fraction: float) -> CascadeRouter:
+        return CascadeRouter(
+            ctx.make_detector("quantized"),
+            ctx.make_detector("float"),
+            config=CascadeConfig(margin_threshold=spec.cascade_margin,
+                                 max_escalation_fraction=fraction),
+            pinned=spec.cascade_pinned)
+
+    # -- path determinism (non-binding budget) -------------------------
+    batch_results, batch_decisions = make_router(1.0).detect_batch(scenes)
+    per_scene = [make_router(1.0).detect(scene) for scene in scenes]
+    for index, (detections, decision) in enumerate(per_scene):
+        if decision.route != batch_decisions[index].route:
+            divergences.append(Divergence(
+                "cascade_routing",
+                f"scene {index}: detect route {decision.route!r} != "
+                f"detect_batch route {batch_decisions[index].route!r}",
+                {"scene": index, "detect": decision.route,
+                 "detect_batch": batch_decisions[index].route,
+                 "margin": decision.margin}))
+    engine_results, engine_routes = ctx.run_cascade_engine(
+        make_router(1.0), scenes)
+    if sorted(engine_routes) != sorted(d.route for d in batch_decisions):
+        divergences.append(Divergence(
+            "cascade_routing",
+            "engine route multiset differs from detect_batch",
+            {"engine": sorted(engine_routes),
+             "detect_batch": sorted(d.route for d in batch_decisions)}))
+
+    # -- routed-output equivalence -------------------------------------
+    quantized = [ctx.make_detector("quantized").detect(scene)
+                 for scene in scenes]
+    specialist = [ctx.make_detector("float").detect(scene)
+                  for scene in scenes]
+    for label, results in (("detect_batch", batch_results),
+                           ("engine", engine_results)):
+        for index, decision in enumerate(batch_decisions):
+            escalated = decision.route == ESCALATED
+            expected = specialist[index] if escalated else quantized[index]
+            divergences += compare_detections(
+                "cascade_routing",
+                f"{label}:scene{index}:{decision.route}",
+                [expected], [results[index]],
+                exact=not escalated, threshold=threshold)
+
+    # -- budget behavior -----------------------------------------------
+    budget_results, budget_decisions = (
+        make_router(spec.cascade_fraction).detect_batch(scenes))
+    escalated_count = sum(d.route == ESCALATED for d in budget_decisions)
+    if spec.cascade_fraction < 1.0:
+        router = make_router(spec.cascade_fraction)
+        bound = math.ceil(spec.cascade_fraction
+                          * router.config.escalation_window)
+        if escalated_count > max(bound, 0):
+            divergences.append(Divergence(
+                "cascade_routing",
+                f"budget violated: {escalated_count} escalations > "
+                f"bound {bound}",
+                {"escalated": escalated_count, "bound": bound,
+                 "fraction": spec.cascade_fraction}))
+    if spec.cascade_fraction == 0.0 and escalated_count:
+        divergences.append(Divergence(
+            "cascade_routing",
+            f"fraction-zero budget still escalated {escalated_count}",
+            {"escalated": escalated_count}))
+    for index, decision in enumerate(budget_decisions):
+        if decision.route in (FAST_PATH, SHED):
+            divergences += compare_detections(
+                "cascade_routing",
+                f"budgeted:scene{index}:{decision.route}",
+                [quantized[index]], [budget_results[index]],
+                exact=True, threshold=threshold)
+    return divergences
+
+
 #: Ordered oracle registry: (name, callable).
 ORACLES = (
     ("static_paths", oracle_static_paths),
     ("stream_fused", oracle_stream_fused),
     ("stream_invariants", oracle_stream_invariants),
     ("stream_metrics", oracle_stream_metrics),
+    ("pipeline_session", oracle_pipeline_session),
+    ("cascade_routing", oracle_cascade_routing),
 )

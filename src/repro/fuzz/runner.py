@@ -19,6 +19,7 @@ default architecture — changes throughput, never results.
 from __future__ import annotations
 
 import dataclasses
+import threading
 import traceback
 from collections import OrderedDict
 from typing import (
@@ -124,6 +125,22 @@ class _EngineSession:
         return self._detector.detect_batch(scenes, stride=stride)
 
 
+class _CascadeEngineSession:
+    """Engine adapter over a cascade router that logs route decisions."""
+
+    def __init__(self, router) -> None:
+        self.router = router
+        self.decisions: List = []
+        self._lock = threading.Lock()
+
+    def detect_batch(self, scenes: Sequence[Scene],
+                     stride: Optional[int] = None) -> List[List[Detection]]:
+        results, decisions = self.router.detect_batch(scenes, stride=stride)
+        with self._lock:
+            self.decisions.extend(decisions)
+        return results
+
+
 @dataclasses.dataclass
 class ExecutionContext:
     """Everything the oracles need, materialized once per scenario.
@@ -175,6 +192,91 @@ class ExecutionContext:
                               workers=self.spec.engine_workers)
         with DetectionEngine(_EngineSession(detector), config=config) as engine:
             return engine.detect_many(scenes)
+
+    # -- pipeline / cascade construction --------------------------------
+    def llm_noise(self) -> "LLMNoiseConfig":
+        return LLMNoiseConfig(
+            omission_rate=self.spec.kg_omission,
+            hallucination_rate=self.spec.kg_hallucination,
+            weight_jitter=self.spec.kg_weight_jitter,
+            seed=self.spec.kg_seed,
+        )
+
+    def task_spec(self):
+        from repro.core.taskspec import TaskSpec
+
+        return TaskSpec.from_definition(self.task)
+
+    def make_pipeline(self):
+        """A real ``ITaskPipeline`` serving the spec's quantized model.
+
+        Built exactly like :func:`build_matcher` builds the direct
+        matcher — same task text, same (fresh) noisy LLM — so the
+        pipeline path and the direct detector path must agree bit for
+        bit on the quantized configuration.
+        """
+        from repro.core.configurations import QuantizedConfiguration
+        from repro.core.pipeline import ITaskPipeline
+
+        configuration = QuantizedConfiguration(
+            name="fuzz-quantized", kind="quantized",
+            quantized=self.quantized_model)
+        return ITaskPipeline(
+            configuration,
+            llm=SimulatedLLM(self.llm_noise()),
+            score_threshold=self.spec.score_threshold,
+            use_kg=self.spec.use_kg,
+        )
+
+    def specialist_configuration(self):
+        """The float model packaged as this mission's specialist."""
+        from repro.core.configurations import TaskSpecificConfiguration
+
+        return TaskSpecificConfiguration(
+            name=f"fuzz-specialist-{self.spec.task}", kind="task_specific",
+            student=self.float_model, task_name=self.spec.task)
+
+    def replacement_graph(self, reference) -> "KnowledgeGraph":
+        """A different-content graph whose ``version`` EQUALS the reference's.
+
+        The graph-replacement session-invalidation check needs the
+        adversarial case a version-only mission fingerprint cannot see:
+        the registered graph is swapped for one with *identical edit
+        count* but different content.  Content comes from the next
+        task's noise-free graph (dissimilar enough to flip specialist
+        selection); the version is matched by truncating to at most
+        ``reference.version`` constraints and then re-adding an existing
+        constraint — a merge that changes nothing but bumps the counter.
+        """
+        from repro.data.tasks import TASK_LIBRARY
+        from repro.kg.schema import KnowledgeGraph
+
+        names = sorted(TASK_LIBRARY)
+        other = names[(names.index(self.spec.task) + 1) % len(names)]
+        payload = SimulatedLLM().generate_for_task(get_task(other)).to_dict()
+        payload["constraints"] = payload["constraints"][:reference.version]
+        replacement = KnowledgeGraph.from_dict(payload)
+        while (replacement.version < reference.version
+               and replacement.constraints):
+            replacement.add_constraint(replacement.constraints[0])
+        return replacement
+
+    def run_cascade_engine(self, router, scenes: Sequence[Scene]):
+        """Scenes through the engine over a cascade router.
+
+        Returns ``(results, routes)``: per-scene detections in
+        submission order plus the multiset of routes the engine's
+        workers recorded (batch composition — hence decision *order* —
+        depends on worker interleaving; the routes themselves do not).
+        """
+        from repro.serve.engine import DetectionEngine, EngineConfig
+
+        session = _CascadeEngineSession(router)
+        config = EngineConfig(max_batch=self.spec.engine_max_batch,
+                              workers=self.spec.engine_workers)
+        with DetectionEngine(session, config=config) as engine:
+            results = engine.detect_many(scenes)
+        return results, [decision.route for decision in session.decisions]
 
 
 def build_context(spec: ScenarioSpec,

@@ -85,6 +85,18 @@ class ScenarioSpec:
     engine_max_batch: int = 4
     engine_workers: int = 1
 
+    # -- occlusion nuisance ------------------------------------------------
+    # Each object cell is partially masked with probability
+    # ``occlusion_rate`` (a band dimmed by ``occlusion_strength``);
+    # ground truth is untouched — occlusion perturbs pixels only.
+    occlusion_rate: float = 0.0
+    occlusion_strength: float = 0.6
+
+    # -- cascade routing knobs ---------------------------------------------
+    cascade_margin: float = 0.15      # escalate below this margin
+    cascade_fraction: float = 1.0     # escalation budget (>=1 unlimited)
+    cascade_pinned: bool = False      # pin the mission to its specialist
+
     # provenance: operator names that composed this spec
     ops: Tuple[str, ...] = ()
 
@@ -103,6 +115,14 @@ class ScenarioSpec:
             raise ValueError("need 0 <= off_threshold <= on_threshold <= 1")
         if not 0.0 <= self.smoothing < 1.0:
             raise ValueError("smoothing must be in [0, 1)")
+        if not 0.0 <= self.occlusion_rate <= 1.0:
+            raise ValueError("occlusion_rate must be in [0, 1]")
+        if not 0.0 <= self.occlusion_strength <= 1.0:
+            raise ValueError("occlusion_strength must be in [0, 1]")
+        if self.cascade_margin < 0.0:
+            raise ValueError("cascade_margin must be >= 0")
+        if self.cascade_fraction < 0.0:
+            raise ValueError("cascade_fraction must be >= 0")
 
     # ------------------------------------------------------------------
     @property
@@ -126,7 +146,13 @@ class ScenarioSpec:
         """The static differential workload: ``num_scenes`` seeded scenes."""
         generator = SceneGenerator(self.scene_config(self.grid),
                                    seed=self.seed * 7919 + 11)
-        return generator.generate_batch(self.num_scenes)
+        scenes = generator.generate_batch(self.num_scenes)
+        if self.occlusion_rate > 0.0:
+            rng = np.random.default_rng(self.seed * 104729 + 41)
+            for scene in scenes:
+                apply_occlusion(scene, rng, self.occlusion_rate,
+                                self.occlusion_strength)
+        return scenes
 
     def build_frames(self) -> List[FrameState]:
         """The streaming workload: ``num_frames`` ground-truthed frames.
@@ -162,6 +188,11 @@ class ScenarioSpec:
                 previous_ids = ids
         if self.early_deaths:
             states = shift_deaths_early(states)
+        if self.occlusion_rate > 0.0:
+            rng = np.random.default_rng(self.seed * 104729 + 57)
+            for state in states:
+                apply_occlusion(state.scene, rng, self.occlusion_rate,
+                                self.occlusion_strength)
         return states
 
     # -- serialization -----------------------------------------------------
@@ -179,6 +210,29 @@ class ScenarioSpec:
         data["grid_schedule"] = tuple(data.get("grid_schedule", ()))
         data["ops"] = tuple(data.get("ops", ()))
         return cls(**data)
+
+
+def apply_occlusion(scene: Scene, rng: np.random.Generator,
+                    rate: float, strength: float) -> None:
+    """Partially mask object cells in place (pixels only, truth intact).
+
+    Each object's cell is occluded with probability ``rate``: a
+    horizontal band one third of the cell tall, at an rng-chosen offset,
+    is dimmed by ``strength``.  The rng is consumed once per object
+    (plus once per occluded cell for the offset), so a fixed generator
+    makes the masking deterministic per scene regardless of outcome.
+    """
+    if rate <= 0.0 or strength <= 0.0:
+        return
+    size = scene.cell_size
+    band = max(1, size // 3)
+    for obj in scene.objects:
+        if rng.random() >= rate:
+            continue
+        row, col = obj.cell
+        y0 = row * size + int(rng.integers(0, size - band + 1))
+        x0 = col * size
+        scene.image[:, y0:y0 + band, x0:x0 + size] *= (1.0 - strength)
 
 
 def shift_deaths_early(states: Sequence[FrameState]) -> List[FrameState]:

@@ -66,6 +66,8 @@ def candidate_shrinks(spec: ScenarioSpec) -> List[ScenarioSpec]:
     add(birth_rate=0.0, death_rate=0.0)
     add(engine_workers=1, engine_max_batch=1)
     add(smoothing=0.0)
+    add(occlusion_rate=0.0, occlusion_strength=0.6)
+    add(cascade_margin=0.15, cascade_fraction=1.0, cascade_pinned=False)
 
     # -- model ---------------------------------------------------------
     defaults = ModelSpec()

@@ -177,6 +177,16 @@ class DetectionEngine:
     def closed(self) -> bool:
         return self._closed
 
+    @property
+    def queue_depth(self) -> int:
+        """Scenes currently waiting in the submit queue (approximate).
+
+        This is the load signal the cascade router's shedding policy
+        reads: a growing depth means producers are outpacing the
+        workers, so escalations shed to keep the fast path flowing.
+        """
+        return self._queue.qsize()
+
     # -- workers -------------------------------------------------------
     def _worker_loop(self) -> None:
         cfg = self.config

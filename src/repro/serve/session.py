@@ -14,8 +14,10 @@ reads — the spec's text and support profiles, the ablation switches
 (``use_kg``/``refine_kg``), the score threshold, the LLM noise
 configuration, the selection arguments (``multi_task``, latency
 budget), and the selector's registered specialists *including each
-specialist graph's* ``KnowledgeGraph.version`` — so editing a
-registered graph in place changes the key and naturally misses.  With a
+specialist graph's* ``KnowledgeGraph.version`` and a content digest of
+its constraint set — so editing a registered graph in place, or
+replacing it outright with a fresh graph whose version number happens
+to coincide, changes the key and naturally misses.  With a
 *noisy* LLM the first prepared sample is pinned for the session's
 lifetime (one deployed graph per mission, rather than re-rolling the
 extraction-noise dice on every request); invalidate explicitly to
@@ -44,6 +46,12 @@ if TYPE_CHECKING:  # circular-import guard: core.pipeline imports us
     from repro.detect.pipeline import Detection
     from repro.kg.llm import LLMNoiseConfig
     from repro.serve.engine import DetectionEngine, EngineConfig
+
+
+def _graph_digest(kg) -> str:
+    """Content hash of a knowledge graph's constraint set."""
+    return hashlib.sha256(
+        json.dumps(kg.to_dict(), sort_keys=True).encode("utf-8")).hexdigest()
 
 
 def mission_fingerprint(
@@ -78,9 +86,14 @@ def mission_fingerprint(
             "similarity_threshold": selector.similarity_threshold,
             "accelerator_latency_ms": selector.accelerator_latency_ms,
             "specialist_latency_ms": selector.specialist_latency_ms,
-            # A graph edited in place bumps its version -> new key.
+            # A graph edited in place bumps its version -> new key; the
+            # content digest additionally covers a graph *replaced* via
+            # register_specialist, whose fresh version number can
+            # coincide with the old graph's (found by the pipeline
+            # session fuzz oracle: the stale fingerprint kept serving
+            # the previous graph's cached session).
             "specialists": sorted(
-                (name, kg.version)
+                (name, kg.version, _graph_digest(kg))
                 for name, kg in selector.specialist_graphs.items()
             ),
         },

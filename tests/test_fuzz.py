@@ -167,7 +167,7 @@ class TestShrinker:
 # corpus + oracle agreement
 # ----------------------------------------------------------------------
 BUG_CASES = ("bug_zero_cells", "bug_stale_aging", "bug_fused_aliasing",
-             "bug_early_death_metrics")
+             "bug_early_death_metrics", "bug_stale_specialist_graph")
 
 
 class TestCorpus:
@@ -363,6 +363,25 @@ class TestPreFixReproduction:
                                        evaluate_fn=legacy_evaluate_stream)
         assert failing_oracles(result) == ("stream_metrics",)
         assert any(d.details.get("metric") == "detected_fraction"
+                   for d in result.divergences)
+
+    def test_stale_specialist_graph_reproduces(self, corpus, model_cache,
+                                               monkeypatch):
+        """Version-only mission fingerprints serve stale sessions.
+
+        Neutering the graph content digest reverts the fingerprint to
+        its legacy (name, version) form; the pinned scenario replaces a
+        registered specialist graph with an equal-version different-
+        content one and the pipeline_session oracle must catch the
+        session cache serving the pre-replacement decision.
+        """
+        import repro.serve.session as serve_session
+
+        monkeypatch.setattr(serve_session, "_graph_digest", lambda kg: "")
+        result = run_scenario(corpus["bug_stale_specialist_graph"],
+                              cache=model_cache)
+        assert "pipeline_session" in failing_oracles(result)
+        assert any("graph_replacement_invalidation" in d.message
                    for d in result.divergences)
 
 
