@@ -161,18 +161,31 @@ def finalize_benchmark(
     stored under their argument name.  The document also captures the
     global obs registry (span tree, p50/p90/p99 per stage, counters —
     including the ``artifacts.*`` cache traffic) and a run manifest, so
-    every E-row in EXPERIMENTS.md can cite its provenance.
+    every E-row in EXPERIMENTS.md can cite its provenance.  The manifest
+    carries the counter snapshot and the span-buffer drop count so a
+    truncated trace (``dropped_spans > 0``) is visible at a glance in
+    the provenance header, not just deep in the obs block.
     """
     from repro.obs import build_telemetry, get_registry, write_telemetry
 
+    registry = get_registry()
+    dropped = registry.dropped_spans
     doc = build_telemetry(
         name,
-        registry=get_registry(),
+        registry=registry,
         rows=rows,
         tables=tables or None,
         seed=seed,
+        manifest_extra={
+            "counters": {cname: counter.value
+                         for cname, counter in registry.counters.items()},
+            "dropped_spans": dropped,
+        },
     )
     path = out or os.path.join(bench_output_dir(), f"BENCH_{name}.json")
     write_telemetry(path, doc)
+    if dropped:
+        print(f"[telemetry] WARNING: {dropped} span(s) dropped "
+              f"(buffer full) — the recorded trace is incomplete")
     print(f"[telemetry] wrote {path}")
     return path

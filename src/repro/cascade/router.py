@@ -31,6 +31,8 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from repro.data.scenes import Scene
 from repro.detect.pipeline import Detection, SceneSignals, TaskDetector
 from repro.obs import get_registry
+from repro.obs.context import RequestContext, current_context
+from repro.obs.sampler import get_sampler
 
 # Routes a scene can take through the cascade, in the order they are
 # considered: confident scenes stay on the fast path, uncertain ones
@@ -77,12 +79,19 @@ class CascadeConfig:
 
 @dataclasses.dataclass(frozen=True)
 class RouteDecision:
-    """Why one scene took the route it did."""
+    """Why one scene took the route it did.
+
+    ``trace_id`` ties the decision to the request that submitted the
+    scene (when routing ran under a request context, e.g. through the
+    engine), so an operator can go from "this scene shed" to the full
+    sampled span tree of the request that suffered it.
+    """
 
     scene_index: int
     route: str  # FAST_PATH | ESCALATED | SHED
     margin: float
     reason: str
+    trace_id: Optional[str] = None
 
     @property
     def escalation_desired(self) -> bool:
@@ -179,13 +188,14 @@ class CascadeRouter:
             self.config.escalation_window)
 
     # ------------------------------------------------------------------
-    def _route_one(self, scene_index: int, signals: SceneSignals) -> RouteDecision:
+    def _route_one(self, scene_index: int, signals: SceneSignals,
+                   trace_id: Optional[str] = None) -> RouteDecision:
         """One scene's routing decision, recorded against the budget."""
         margin = signals.margin
         if self.specialist is None:
             self.budget.record_fast_path()
             return RouteDecision(scene_index, FAST_PATH, margin,
-                                 "no specialist registered")
+                                 "no specialist registered", trace_id)
         if self.pinned:
             reason = "mission fingerprint pinned to specialist"
         elif margin < self.config.margin_threshold:
@@ -194,17 +204,17 @@ class CascadeRouter:
         else:
             self.budget.record_fast_path()
             return RouteDecision(scene_index, FAST_PATH, margin,
-                                 f"margin {margin:.4f} >= threshold")
+                                 f"margin {margin:.4f} >= threshold", trace_id)
         if (self.config.shed_queue_depth is not None
                 and self.queue_depth_fn is not None
                 and self.queue_depth_fn() > self.config.shed_queue_depth):
             self.budget.record_fast_path()
             return RouteDecision(scene_index, SHED, margin,
-                                 "engine queue above shed depth")
+                                 "engine queue above shed depth", trace_id)
         if not self.budget.try_acquire():
             return RouteDecision(scene_index, SHED, margin,
-                                 "escalation budget exhausted")
-        return RouteDecision(scene_index, ESCALATED, margin, reason)
+                                 "escalation budget exhausted", trace_id)
+        return RouteDecision(scene_index, ESCALATED, margin, reason, trace_id)
 
     def _observe(self, decisions: Sequence[RouteDecision]) -> None:
         obs = get_registry()
@@ -214,6 +224,11 @@ class CascadeRouter:
                 obs.observe("cascade.margin", decision.margin)
                 if decision.route == ESCALATED:
                     obs.observe("cascade.margin.escalated", decision.margin)
+        sampler = get_sampler()
+        if sampler is not None:
+            # Tail sampling + flight recorder: shed/escalated traces are
+            # retained as exemplars, and a shed storm dumps the ring.
+            sampler.observe_route(decisions, registry=obs)
 
     # ------------------------------------------------------------------
     def detect(self, scene: Scene,
@@ -224,19 +239,32 @@ class CascadeRouter:
 
     def detect_batch(
         self, scenes: Sequence[Scene], stride: Optional[int] = None,
+        contexts: Optional[Sequence[Optional[RequestContext]]] = None,
     ) -> Tuple[List[List[Detection]], List[RouteDecision]]:
         """Route a batch: fused fast pass, then one fused specialist pass
         over the escalated subset.  Results stay in input order; fast and
         shed scenes keep the quantized output bit for bit.
+
+        ``contexts`` carries one :class:`RequestContext` (or None) per
+        scene — the engine passes the submitters' captured contexts so
+        each decision's ``trace_id`` names the request it belongs to.
+        Without it, the caller's own request context (if any) covers the
+        whole batch.
         """
         scenes = list(scenes)
         if not scenes:
             return [], []
+        if contexts is None:
+            ctx = current_context()
+            contexts = [ctx] * len(scenes)
         with get_registry().span("cascade.route", scenes=len(scenes)) as span:
             results, signal_list = self.fast.detect_batch_with_signals(
                 scenes, stride=stride)
-            decisions = [self._route_one(i, signals)
-                         for i, signals in enumerate(signal_list)]
+            decisions = [
+                self._route_one(
+                    i, signals,
+                    contexts[i].trace_id if contexts[i] is not None else None)
+                for i, signals in enumerate(signal_list)]
             escalated = [d.scene_index for d in decisions
                          if d.route == ESCALATED]
             if escalated and self.specialist is not None:

@@ -70,28 +70,40 @@ class CascadeSession:
     after the fact, including across engine workers.
     """
 
-    def __init__(self, session: "MissionSession", router: CascadeRouter) -> None:
+    def __init__(self, session: Optional["MissionSession"],
+                 router: CascadeRouter) -> None:
+        # ``session=None`` builds a router-only session: the serving
+        # surface (detect/detect_batch/engine + the decision log) over
+        # pre-built detectors, with the mission-bound conveniences
+        # (spec/kg/evaluate) unavailable.  Benchmarks replaying traffic
+        # through a raw router use this.
         self.session = session
         self.router = router
         self._decisions: List[RouteDecision] = []
         self._lock = threading.Lock()
 
+    def _require_session(self) -> "MissionSession":
+        if self.session is None:
+            raise ValueError("router-only CascadeSession has no prepared "
+                             "mission (built with session=None)")
+        return self.session
+
     # -- convenience views ---------------------------------------------
     @property
     def key(self) -> str:
-        return self.session.key
+        return self._require_session().key
 
     @property
     def spec(self):
-        return self.session.spec
+        return self._require_session().spec
 
     @property
     def kg(self):
-        return self.session.kg
+        return self._require_session().kg
 
     @property
     def decision(self):
-        return self.session.decision
+        return self._require_session().decision
 
     @property
     def has_specialist(self) -> bool:
@@ -106,8 +118,10 @@ class CascadeSession:
 
     def route_batch(
         self, scenes: Sequence["Scene"], stride: Optional[int] = None,
+        contexts: Optional[Sequence] = None,
     ) -> Tuple[List[List["Detection"]], List[RouteDecision]]:
-        results, decisions = self.router.detect_batch(scenes, stride=stride)
+        results, decisions = self.router.detect_batch(
+            scenes, stride=stride, contexts=contexts)
         self._log(decisions)
         return results, decisions
 
@@ -116,8 +130,13 @@ class CascadeSession:
         return self.route(scene, stride=stride)[0]
 
     def detect_batch(self, scenes: Sequence["Scene"],
-                     stride: Optional[int] = None) -> List[List["Detection"]]:
-        return self.route_batch(scenes, stride=stride)[0]
+                     stride: Optional[int] = None,
+                     contexts: Optional[Sequence] = None,
+                     ) -> List[List["Detection"]]:
+        # ``contexts`` (one RequestContext or None per scene) arrives
+        # from the engine's captured submitter contexts; the router
+        # stamps each RouteDecision with its request's trace_id.
+        return self.route_batch(scenes, stride=stride, contexts=contexts)[0]
 
     def evaluate(self, scenes: Sequence["Scene"],
                  object_cells_only: bool = False) -> float:
@@ -162,5 +181,8 @@ class CascadeSession:
 
     def __repr__(self) -> str:
         pin = "pinned" if self.router.pinned else "margin"
+        if self.session is None:
+            return (f"CascadeSession(router-only, mode={pin}, "
+                    f"specialist={self.has_specialist})")
         return (f"CascadeSession(task={self.spec.name!r}, mode={pin}, "
                 f"specialist={self.has_specialist}, key={self.key[:12]}...)")

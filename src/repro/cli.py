@@ -26,12 +26,16 @@ Commands
     quantized-kernel latency: per-site exact BLAS GEMMs vs the int64
     reference, plus the end-to-end quantized forward — asserting
     bit-identical outputs before timing.
-``obs {report,export,trace,compare}``
+``obs {report,export,trace,compare,serve,top,slo}``
     the telemetry family: render a ``BENCH_*.json`` (manifest + per-stage
     p50/p90/p99 + counters), run an instrumented detection workload and
     persist its telemetry, convert a telemetry file's spans to Chrome
-    trace-event JSON for Perfetto, and gate one run against a baseline
-    (non-zero exit on hot-path regression, for CI).
+    trace-event JSON for Perfetto, gate one run against a baseline
+    (non-zero exit on hot-path regression, for CI), serve live
+    Prometheus ``/metrics`` + ``/healthz`` + ``/slo`` over stdlib HTTP
+    (optionally driving demo engine traffic), watch interval rates and
+    percentiles from a running server's ``/snapshot``, and evaluate SLO
+    burn against telemetry files (``--gate`` for CI).
 ``fuzz {run,replay,corpus}``
     the differential scenario fuzzer: sweep seeded generated scenarios
     across the float/quantized/batched/engine/streaming paths (non-zero
@@ -276,6 +280,11 @@ def _cmd_obs_report(args: argparse.Namespace) -> int:
     tables = doc.get("tables", {}) or {}
     print(f"\n{len(spans)} span(s), {len(rows)} result row(s), "
           f"{len(tables)} extra table(s)")
+    dropped = doc.get("obs", {}).get("dropped_spans",
+                                     manifest.get("dropped_spans", 0))
+    if dropped:
+        print(f"WARNING: {dropped} span(s) dropped during the run — "
+              f"the span list above is incomplete")
     return 0
 
 
@@ -402,6 +411,168 @@ def _cmd_obs_compare(args: argparse.Namespace) -> int:
     )
     print(comparison.summary())
     return 0 if comparison.ok else 1
+
+
+def _cmd_obs_serve(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.obs import get_registry
+    from repro.obs.export import MetricsServer
+    from repro.obs.series import SeriesRecorder
+    from repro.obs.slo import default_slos, load_slos
+
+    registry = get_registry()
+    series = registry.series
+    if series is None:
+        series = SeriesRecorder()
+        registry.attach_series(series)
+    slos = load_slos(args.slo_config) if args.slo_config else default_slos()
+    server = MetricsServer(registry, host=args.host, port=args.port,
+                           series=series, slos=slos)
+    server.start()
+    print(f"metrics  : {server.url}/metrics")
+    print(f"health   : {server.url}/healthz")
+    print(f"slo      : {server.url}/slo")
+    print(f"snapshot : {server.url}/snapshot")
+    try:
+        if args.demo:
+            return _obs_demo_traffic(args)
+        print("idle registry — scrape away (Ctrl-C to stop)")
+        deadline = (time.monotonic() + args.duration
+                    if args.duration else None)
+        while deadline is None or time.monotonic() < deadline:
+            time.sleep(0.2)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.stop()
+    return 0
+
+
+def _obs_demo_traffic(args: argparse.Namespace) -> int:
+    """Drive request-scoped engine traffic so ``/metrics`` shows a live
+    serving path (scraping an idle registry demonstrates nothing)."""
+    import time
+
+    import numpy as np
+
+    from repro.data import (
+        SceneConfig,
+        SceneGenerator,
+        attribute_head_spec,
+        get_task,
+    )
+    from repro.data.datasets import num_classes
+    from repro.detect import TaskDetector
+    from repro.kg import GraphMatcher, SimulatedLLM
+    from repro.nn import VisionTransformer, ViTConfig
+    from repro.obs.context import request_context
+    from repro.obs.sampler import ExemplarSampler, install_sampler
+    from repro.serve.engine import DetectionEngine, EngineConfig
+
+    config = ViTConfig.student(num_classes(), attribute_head_spec())
+    model = VisionTransformer(config, rng=np.random.default_rng(0))
+    kg = SimulatedLLM().generate_for_task(get_task(args.task))
+    detector = TaskDetector(model, matcher=GraphMatcher(kg),
+                            score_threshold=0.0)
+    scenes = [SceneGenerator(SceneConfig(grid=args.grid),
+                             seed=seed).generate() for seed in range(5)]
+    previous = install_sampler(ExemplarSampler())
+    engine = DetectionEngine(detector,
+                             EngineConfig(max_batch=4, workers=2))
+    deadline = time.monotonic() + args.duration if args.duration else None
+    served = 0
+    print(f"demo traffic: task={args.task} grid={args.grid} "
+          "(Ctrl-C to stop)")
+    try:
+        while deadline is None or time.monotonic() < deadline:
+            with request_context(name="demo.request", tenant="demo"):
+                engine.submit(scenes[served % len(scenes)]).result()
+            served += 1
+    finally:
+        engine.close()
+        install_sampler(previous)
+        print(f"served {served} demo scene(s)")
+    return 0
+
+
+def _cmd_obs_top(args: argparse.Namespace) -> int:
+    import json
+    import time
+    import urllib.error
+    import urllib.request
+
+    from repro.obs.export import snapshot_delta, timer_state_stats
+    from repro.obs.registry import FP_SCALE
+
+    url = args.url.rstrip("/") + "/snapshot"
+    previous = None
+    frames = 0
+    try:
+        while args.frames is None or frames < args.frames:
+            try:
+                with urllib.request.urlopen(url, timeout=5) as resp:
+                    snapshot = json.load(resp)
+            except (urllib.error.URLError, OSError) as exc:
+                print(f"cannot reach {url}: {exc}", file=sys.stderr)
+                return 1
+            if previous is not None:
+                delta = snapshot_delta(snapshot, previous)
+                timers = {name: timer_state_stats(state)
+                          for name, state in delta["timers"].items()
+                          if state["calls"]}
+                print(f"\n-- last {args.interval:g}s --")
+                if not timers:
+                    print("(no stage activity)")
+                else:
+                    width = max(len(name) for name in timers)
+                    print(f"{'stage'.ljust(width)} | {'calls':>6} | "
+                          f"{'rate/s':>7} | {'p50 ms':>9} | {'p99 ms':>9} | "
+                          f"{'total ms':>10}")
+                    for name, stats in sorted(
+                            timers.items(), key=lambda kv: -kv[1]["total_s"]):
+                        print(f"{name.ljust(width)} | {stats['calls']:>6} | "
+                              f"{stats['calls'] / args.interval:>7.1f} | "
+                              f"{stats['p50_s'] * 1e3:>9.3f} | "
+                              f"{stats['p99_s'] * 1e3:>9.3f} | "
+                              f"{stats['total_s'] * 1e3:>10.3f}")
+                counters = {name: state["value_fp"] / FP_SCALE
+                            for name, state in delta["counters"].items()
+                            if state["value_fp"]}
+                if counters:
+                    width = max(len(name) for name in counters)
+                    for name, value in sorted(counters.items()):
+                        print(f"{name.ljust(width)} | +{value:g}")
+                if delta.get("dropped_spans"):
+                    print(f"!! dropped spans: +{delta['dropped_spans']}")
+                frames += 1
+            previous = snapshot
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _cmd_obs_slo(args: argparse.Namespace) -> int:
+    from repro.obs import load_telemetry
+    from repro.obs.slo import (
+        default_slos,
+        evaluate_telemetry,
+        format_statuses,
+        load_slos,
+    )
+
+    slos = load_slos(args.config) if args.config else default_slos()
+    failed = False
+    for path in args.file:
+        statuses = evaluate_telemetry(slos, load_telemetry(path))
+        print(format_statuses(statuses, title=f"SLO: {path}"))
+        if any(not status.ok for status in statuses):
+            failed = True
+    if failed:
+        print("\nSLO objectives violated" +
+              ("" if args.gate else " (advisory — pass --gate to fail)"))
+    return 1 if failed and args.gate else 0
 
 
 def _cmd_fuzz_run(args: argparse.Namespace) -> int:
@@ -715,7 +886,8 @@ def build_parser() -> argparse.ArgumentParser:
     quant_bench.set_defaults(func=_cmd_quant_bench)
 
     obs = sub.add_parser(
-        "obs", help="benchmark telemetry: report, export, trace, compare")
+        "obs", help="telemetry: report, export, trace, compare, serve, "
+                    "top, slo")
     obs_sub = obs.add_subparsers(dest="obs_command", required=True)
 
     obs_report = obs_sub.add_parser(
@@ -756,6 +928,49 @@ def build_parser() -> argparse.ArgumentParser:
     obs_compare.add_argument("--stages", default=None,
                              help="comma-separated stage allowlist")
     obs_compare.set_defaults(func=_cmd_obs_compare)
+
+    obs_serve = obs_sub.add_parser(
+        "serve",
+        help="stdlib HTTP server: /metrics (Prometheus), /healthz, /slo, "
+             "/snapshot")
+    obs_serve.add_argument("--host", default="127.0.0.1")
+    obs_serve.add_argument("--port", type=int, default=9464,
+                           help="listen port (0 = ephemeral)")
+    obs_serve.add_argument("--duration", type=float, default=None,
+                           help="seconds to serve (default: until Ctrl-C)")
+    obs_serve.add_argument("--demo", action="store_true",
+                           help="drive request-scoped engine traffic while "
+                                "serving, so scrapes show a live hot path")
+    obs_serve.add_argument("--task", default="roadside_hazards",
+                           help="demo traffic mission")
+    obs_serve.add_argument("--grid", type=int, default=6,
+                           help="demo scene grid (cells per side)")
+    obs_serve.add_argument("--slo-config", default=None,
+                           help="SLO JSON for /slo (default: built-ins)")
+    obs_serve.set_defaults(func=_cmd_obs_serve)
+
+    obs_top = obs_sub.add_parser(
+        "top",
+        help="poll a serve endpoint's /snapshot; print interval rates "
+             "and percentiles")
+    obs_top.add_argument("--url", default="http://127.0.0.1:9464",
+                         help="base URL of a running `repro obs serve`")
+    obs_top.add_argument("--interval", type=float, default=2.0,
+                         help="seconds between polls")
+    obs_top.add_argument("--frames", type=int, default=None,
+                         help="interval frames to print (default: forever)")
+    obs_top.set_defaults(func=_cmd_obs_top)
+
+    obs_slo = obs_sub.add_parser(
+        "slo",
+        help="evaluate SLO objectives against telemetry files; "
+             "--gate exits 1 on violation")
+    obs_slo.add_argument("file", nargs="+", help="telemetry JSON path(s)")
+    obs_slo.add_argument("--config", default=None,
+                         help="SLO JSON config (default: built-ins)")
+    obs_slo.add_argument("--gate", action="store_true",
+                         help="non-zero exit when any objective fails")
+    obs_slo.set_defaults(func=_cmd_obs_slo)
 
     fuzz = sub.add_parser(
         "fuzz", help="differential scenario fuzzer (float vs quantized vs "

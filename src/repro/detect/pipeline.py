@@ -33,10 +33,23 @@ from repro.detect.boxes import nms, nms_reference
 from repro.kg.matcher import GraphMatcher
 from repro.nn import VisionTransformer
 from repro.obs import get_registry
+from repro.obs.context import current_context
 from repro.quant.vit import QuantizedVisionTransformer
 from repro.tensor import Tensor, no_grad
 
 ModelLike = Union[VisionTransformer, QuantizedVisionTransformer]
+
+
+def _attr_deadline(span) -> None:
+    """Stamp the request's remaining deadline budget onto a span.
+
+    A detect running under a deadline-bearing request context records
+    how much budget was left when inference *started*, so traces show
+    whether a deadline miss was spent queueing or computing.
+    """
+    ctx = current_context()
+    if ctx is not None and ctx.deadline_s is not None:
+        span.set_attr(deadline_remaining_s=round(ctx.remaining_s(), 6))
 
 # Fused multi-scene forwards run bigger chunks than single-scene detect:
 # per-chunk Python/dispatch overhead amortizes across the whole batch.
@@ -406,6 +419,7 @@ class TaskDetector:
         task_name = self.matcher.kg.task_name if self.matcher is not None else None
         with obs.span("detect.total", task=task_name, grid=scene.grid,
                       vectorized=self.vectorized) as span:
+            _attr_deadline(span)
             windows, boxes = self._windows(scene, stride=stride)
             span.set_attr(windows=len(boxes))
             predictions = predict_windows(self.model, windows,
@@ -454,6 +468,7 @@ class TaskDetector:
             return [], []
         with obs.span("detect.batch_total", task=task_name,
                       scenes=len(scenes), vectorized=self.vectorized) as span:
+            _attr_deadline(span)
             if len({(s.image.shape, s.cell_size) for s in scenes}) > 1:
                 span.set_attr(fused=False)
                 pairs = [self.detect_with_signals(scene, stride=stride)

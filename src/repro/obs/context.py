@@ -1,0 +1,148 @@
+"""Request-scoped tracing context carried across queue hops.
+
+A :class:`RequestContext` names one logical request — a ``trace_id``
+unique across processes, the mission fingerprint it targets, a tenant
+tag, and an optional deadline — and rides a :mod:`contextvars`
+ContextVar so any probe deep in the call stack can attribute its work
+to the request without threading a handle through every signature.
+
+Two propagation modes compose:
+
+* **Implicit** — :func:`request_context` opens a root span for the
+  request and sets the ContextVar; every span the same thread (or the
+  same asyncio task) opens while the block is active inherits the
+  trace_id and, when its thread-local span stack is empty, re-parents
+  under the request's root span.
+* **Explicit** — thread-pool hops break ContextVar inheritance, so
+  :class:`repro.serve.engine.DetectionEngine` captures
+  :func:`current_context` at ``submit()`` time into the queued job and
+  hands the contexts to the worker side (and down through
+  ``CascadeRouter``), where per-request spans and routing decisions are
+  stamped with the submitter's trace.  :func:`use_context` re-installs
+  a captured context around a code block for the same purpose.
+
+Everything here is stdlib-only and allocation-light: reading the
+current context is a single ``ContextVar.get`` and trace-id minting is
+one counter increment, so the idle overhead on the detect hot path is
+unmeasurable.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+import dataclasses
+import itertools
+import os
+import time
+from typing import Any, Iterator, Optional
+
+__all__ = [
+    "RequestContext",
+    "current_context",
+    "new_trace_id",
+    "request_context",
+    "use_context",
+]
+
+# Process tag: pid plus 4 random bytes so trace ids minted by different
+# shard processes (or a recycled pid) never collide when their
+# snapshots/exemplars are merged downstream.
+_PROCESS_TAG = f"{os.getpid():x}-{os.urandom(4).hex()}"
+_TRACE_IDS = itertools.count(1)
+
+_CURRENT: contextvars.ContextVar[Optional["RequestContext"]] = \
+    contextvars.ContextVar("repro_obs_request_context", default=None)
+
+
+def new_trace_id() -> str:
+    """Mint a trace id unique across threads and processes."""
+    return f"{_PROCESS_TAG}-{next(_TRACE_IDS):06x}"
+
+
+@dataclasses.dataclass(frozen=True)
+class RequestContext:
+    """Identity and budget of one in-flight request.
+
+    ``deadline_s`` is an absolute ``time.perf_counter()`` timestamp
+    (not a duration), so it stays meaningful when the context crosses
+    threads inside one process.  ``parent_span_id`` is the request's
+    root span: worker-side spans whose thread-local stack is empty
+    re-parent under it, so a trace tree survives the queue hop.
+    """
+
+    trace_id: str
+    tenant: Optional[str] = None
+    mission: Optional[str] = None
+    deadline_s: Optional[float] = None
+    parent_span_id: Optional[int] = None
+
+    def remaining_s(self, now: Optional[float] = None) -> Optional[float]:
+        """Seconds until the deadline (negative if blown); None if no
+        deadline was set."""
+        if self.deadline_s is None:
+            return None
+        return self.deadline_s - (time.perf_counter() if now is None else now)
+
+    def expired(self, now: Optional[float] = None) -> bool:
+        remaining = self.remaining_s(now)
+        return remaining is not None and remaining <= 0.0
+
+
+def current_context() -> Optional[RequestContext]:
+    """The :class:`RequestContext` active on this thread/task, if any."""
+    return _CURRENT.get()
+
+
+@contextlib.contextmanager
+def use_context(ctx: Optional[RequestContext]) -> Iterator[Optional[RequestContext]]:
+    """Re-install a captured context around a block (queue-hop helper)."""
+    token = _CURRENT.set(ctx)
+    try:
+        yield ctx
+    finally:
+        _CURRENT.reset(token)
+
+
+@contextlib.contextmanager
+def request_context(trace_id: Optional[str] = None, *,
+                    name: str = "request",
+                    tenant: Optional[str] = None,
+                    mission: Optional[str] = None,
+                    deadline_ms: Optional[float] = None,
+                    registry: Any = None,
+                    **attrs: Any) -> Iterator[RequestContext]:
+    """Enter a request scope: mint a trace, open its root span, set the
+    ContextVar.
+
+    Spans opened inside the block carry the trace_id; the yielded
+    context can be captured (``DetectionEngine.submit`` does) so work
+    completed after the block exits — queue wait, batched execution,
+    cascade routing — still lands in the same trace.
+    """
+    from repro.obs.registry import get_registry
+
+    registry = registry or get_registry()
+    tid = trace_id or new_trace_id()
+    deadline = (time.perf_counter() + deadline_ms / 1e3
+                if deadline_ms is not None else None)
+    ctx = RequestContext(trace_id=tid, tenant=tenant, mission=mission,
+                         deadline_s=deadline)
+    token = _CURRENT.set(ctx)
+    try:
+        span_attrs = dict(attrs)
+        if tenant is not None:
+            span_attrs.setdefault("tenant", tenant)
+        if mission is not None:
+            span_attrs.setdefault("mission", mission)
+        with registry.span(name, **span_attrs) as span:
+            root_id = getattr(span, "span_id", None)
+            if root_id is not None:
+                ctx = dataclasses.replace(ctx, parent_span_id=root_id)
+            inner = _CURRENT.set(ctx)
+            try:
+                yield ctx
+            finally:
+                _CURRENT.reset(inner)
+    finally:
+        _CURRENT.reset(token)

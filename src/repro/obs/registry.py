@@ -45,9 +45,12 @@ import threading
 import time
 from typing import Any, Callable, Dict, Iterator, List, Optional
 
+from repro.obs.context import current_context
+
 __all__ = [
     "Counter",
     "Distribution",
+    "FP_SCALE",
     "Histogram",
     "Registry",
     "Span",
@@ -55,6 +58,18 @@ __all__ = [
     "get_registry",
     "traced",
 ]
+
+# Fixed-point scale for mergeable accumulators.  Floating-point addition
+# is not associative, so per-shard float totals merged in different
+# orders drift in the last bits; accumulating integers (nanoseconds for
+# timers, value * FP_SCALE for counters/distributions) at record time
+# makes every merge order bit-identical.  Python ints never overflow.
+FP_SCALE = 10 ** 9
+
+
+def fixed_point(value: float) -> int:
+    """Round a value onto the shared fixed-point grid (1e-9 resolution)."""
+    return int(round(value * FP_SCALE))
 
 
 # ----------------------------------------------------------------------
@@ -118,6 +133,34 @@ class Histogram:
                 return min(max(representative, self._min), self._max)
         return self._max  # pragma: no cover — unreachable (seen == count)
 
+    # -- mergeable state ------------------------------------------------
+    # Sparse JSON-safe bucket state for the cross-process snapshot merge
+    # protocol (see repro.obs.export).  Bucket counts are ints and
+    # min/max are exact observed values, so merging is associative,
+    # commutative, and bit-exact in any order.
+
+    def merge_state(self) -> Dict[str, Any]:
+        return {
+            "count": self.count,
+            "buckets": [[i, c] for i, c in enumerate(self.counts) if c],
+            "min": self._min if self.count else None,
+            "max": self._max if self.count else None,
+        }
+
+    def merge_in(self, state: Dict[str, Any]) -> "Histogram":
+        for index, bucket_count in state["buckets"]:
+            self.counts[int(index)] += int(bucket_count)
+        self.count += int(state["count"])
+        if state["min"] is not None and state["min"] < self._min:
+            self._min = state["min"]
+        if state["max"] is not None and state["max"] > self._max:
+            self._max = state["max"]
+        return self
+
+    @classmethod
+    def from_state(cls, state: Dict[str, Any]) -> "Histogram":
+        return cls().merge_in(state)
+
 
 # ----------------------------------------------------------------------
 # Timers and counters
@@ -132,6 +175,9 @@ class Timer:
     min_s: float = math.inf
     max_s: float = 0.0
     last_s: float = 0.0
+    # Integer-nanosecond twin of total_s: the order-independent
+    # accumulator the mergeable snapshot protocol exports.
+    total_ns: int = 0
     histogram: Histogram = dataclasses.field(default_factory=Histogram,
                                              repr=False, compare=False)
     _lock: threading.Lock = dataclasses.field(default_factory=threading.Lock,
@@ -141,6 +187,7 @@ class Timer:
         with self._lock:
             self.calls += 1
             self.total_s += seconds
+            self.total_ns += fixed_point(seconds)
             self.min_s = min(self.min_s, seconds)
             self.max_s = max(self.max_s, seconds)
             self.last_s = seconds
@@ -181,6 +228,21 @@ class Timer:
             "p99_s": self.p99_s,
         }
 
+    def merge_state(self) -> Dict[str, Any]:
+        """Order-independent state for cross-process merging.
+
+        ``last_s`` is deliberately absent: "last" depends on arrival
+        order, which a merge of concurrent shards cannot define.
+        """
+        with self._lock:
+            return {
+                "calls": self.calls,
+                "total_ns": self.total_ns,
+                "min_s": self.min_s if self.calls else None,
+                "max_s": self.max_s if self.calls else None,
+                "hist": self.histogram.merge_state(),
+            }
+
 
 @dataclasses.dataclass
 class Counter:
@@ -188,12 +250,20 @@ class Counter:
 
     name: str
     value: float = 0
+    # Fixed-point twin of value (value * FP_SCALE, rounded per add) so
+    # shard merges are bit-exact regardless of order.
+    value_fp: int = 0
     _lock: threading.Lock = dataclasses.field(default_factory=threading.Lock,
                                               repr=False, compare=False)
 
     def add(self, amount: float = 1) -> None:
         with self._lock:
             self.value += amount
+            self.value_fp += fixed_point(amount)
+
+    def merge_state(self) -> Dict[str, Any]:
+        with self._lock:
+            return {"value_fp": self.value_fp}
 
 
 @dataclasses.dataclass
@@ -216,6 +286,7 @@ class Distribution:
     min: float = math.inf
     max: float = 0.0
     last: float = 0.0
+    total_fp: int = 0
     histogram: Histogram = dataclasses.field(default_factory=Histogram,
                                              repr=False, compare=False)
     _lock: threading.Lock = dataclasses.field(default_factory=threading.Lock,
@@ -226,6 +297,7 @@ class Distribution:
         with self._lock:
             self.count += 1
             self.total += value
+            self.total_fp += fixed_point(value)
             self.min = min(self.min, value)
             self.max = max(self.max, value)
             self.last = value
@@ -252,6 +324,18 @@ class Distribution:
             "p99": self.percentile(99.0),
         }
 
+    def merge_state(self) -> Dict[str, Any]:
+        """Order-independent state for cross-process merging (no
+        ``last`` — see :meth:`Timer.merge_state`)."""
+        with self._lock:
+            return {
+                "count": self.count,
+                "total_fp": self.total_fp,
+                "min": self.min if self.count else None,
+                "max": self.max if self.count else None,
+                "hist": self.histogram.merge_state(),
+            }
+
 
 # ----------------------------------------------------------------------
 # Spans
@@ -272,6 +356,7 @@ class Span:
     start_us: float = 0.0
     dur_us: float = 0.0
     attrs: Dict[str, Any] = dataclasses.field(default_factory=dict)
+    trace_id: Optional[str] = None
 
     def set_attr(self, **attrs: Any) -> "Span":
         """Attach attributes discovered mid-span (window counts, ...)."""
@@ -279,7 +364,7 @@ class Span:
         return self
 
     def as_dict(self) -> Dict[str, Any]:
-        return {
+        doc = {
             "name": self.name,
             "span_id": self.span_id,
             "parent_id": self.parent_id,
@@ -288,6 +373,9 @@ class Span:
             "dur_us": self.dur_us,
             "attrs": dict(self.attrs),
         }
+        if self.trace_id is not None:
+            doc["trace_id"] = self.trace_id
+        return doc
 
 
 class _NullSpan:
@@ -329,6 +417,11 @@ class Registry:
         self._tls = threading.local()
         self._span_ids = itertools.count(1)
         self._epoch = time.perf_counter()
+        # Optional live-series sink (repro.obs.series.SeriesRecorder):
+        # when attached, every timer/counter/distribution recording is
+        # mirrored into sliding windows.  One attribute read + None
+        # check when absent, so the default path pays nothing.
+        self._series: Optional[Any] = None
 
     # -- accessors ------------------------------------------------------
     def timer(self, name: str) -> Timer:
@@ -405,12 +498,23 @@ class Registry:
             return
         stack = self._stack()
         parent = stack[-1] if stack else None
+        ctx = current_context()
+        if parent is not None:
+            parent_id: Optional[int] = parent.span_id
+        elif ctx is not None:
+            # Queue-hop re-parenting: a thread-root span opened under a
+            # request context hangs off the request's root span, so the
+            # trace tree survives thread-pool handoffs.
+            parent_id = ctx.parent_span_id
+        else:
+            parent_id = None
         span = Span(
             name=name,
             span_id=next(self._span_ids),
-            parent_id=parent.span_id if parent is not None else None,
+            parent_id=parent_id,
             tid=threading.get_ident(),
             attrs=dict(attrs) if attrs else {},
+            trace_id=ctx.trace_id if ctx is not None else None,
         )
         stack.append(span)
         start = time.perf_counter()
@@ -422,11 +526,52 @@ class Registry:
             span.start_us = (start - self._epoch) * 1e6
             span.dur_us = elapsed * 1e6
             self.timer(name).record(elapsed)
+            series = self._series
+            if series is not None:
+                series.record_timer(name, elapsed)
             with self._lock:
                 if len(self._spans) < self.max_spans:
                     self._spans.append(span)
                 else:
                     self._dropped_spans += 1
+
+    def record_span(self, name: str, start_s: float, end_s: float, *,
+                    trace_id: Optional[str] = None,
+                    parent_id: Optional[int] = None,
+                    attrs: Optional[Dict[str, Any]] = None) -> Optional[Span]:
+        """Record an externally-timed interval as a completed span.
+
+        For intervals whose endpoints straddle threads — an engine
+        job's queue wait is timed from the submitter's ``put`` to the
+        worker's flush — no ``with`` block can wrap them, so the caller
+        passes the two ``time.perf_counter()`` readings (and the
+        captured request's ``trace_id``/``parent_id``) directly.  The
+        interval feeds the stage Timer and series exactly like a
+        :meth:`span` block.
+        """
+        if not self.enabled:
+            return None
+        elapsed = max(0.0, end_s - start_s)
+        span = Span(
+            name=name,
+            span_id=next(self._span_ids),
+            parent_id=parent_id,
+            tid=threading.get_ident(),
+            start_us=(start_s - self._epoch) * 1e6,
+            dur_us=elapsed * 1e6,
+            attrs=dict(attrs) if attrs else {},
+            trace_id=trace_id,
+        )
+        self.timer(name).record(elapsed)
+        series = self._series
+        if series is not None:
+            series.record_timer(name, elapsed)
+        with self._lock:
+            if len(self._spans) < self.max_spans:
+                self._spans.append(span)
+            else:
+                self._dropped_spans += 1
+        return span
 
     def time(self, name: str) -> "contextlib.AbstractContextManager[Span]":
         """Attribute-less :meth:`span` — kept for the historical call
@@ -436,11 +581,29 @@ class Registry:
     def count(self, name: str, amount: float = 1) -> None:
         if self.enabled:
             self.counter(name).add(amount)
+            series = self._series
+            if series is not None:
+                series.record_counter(name, amount)
 
     def observe(self, name: str, value: float) -> None:
         """Record one sample of a value stream (queue depth, batch size)."""
         if self.enabled:
             self.distribution(name).record(value)
+            series = self._series
+            if series is not None:
+                series.record_value(name, value)
+
+    # -- live series ----------------------------------------------------
+    def attach_series(self, series: Any) -> Any:
+        """Mirror every recording into a sliding-window series sink
+        (:class:`repro.obs.series.SeriesRecorder`).  Returns the sink.
+        Pass ``None`` to detach."""
+        self._series = series
+        return series
+
+    @property
+    def series(self) -> Optional[Any]:
+        return self._series
 
     def traced(self, name: Optional[str] = None) -> Callable:
         """Decorator timing every call to the wrapped function.
@@ -488,6 +651,11 @@ class Registry:
             doc["spans"] = [s.as_dict() for s in self._spans]
             doc["dropped_spans"] = self._dropped_spans
         return doc
+
+    def spans_for_trace(self, trace_id: str) -> List[Span]:
+        """All buffered spans stamped with ``trace_id`` (any thread)."""
+        with self._lock:
+            return [s for s in self._spans if s.trace_id == trace_id]
 
     def span_tree(self) -> List[Dict[str, Any]]:
         """Nested view of the span buffer (see :func:`repro.obs.trace.span_tree`)."""
@@ -549,6 +717,9 @@ class Registry:
             self._spans.clear()
             self._dropped_spans = 0
             self._epoch = time.perf_counter()
+        series = self._series
+        if series is not None:
+            series.reset()
 
 
 _GLOBAL = Registry("repro")

@@ -114,12 +114,19 @@ def build_telemetry(
     seed: Optional[int] = None,
     manifest_extra: Optional[Dict[str, Any]] = None,
 ) -> Dict[str, Any]:
+    from repro.obs.export import mergeable_snapshot
+
     registry = registry or get_registry()
     return {
         "schema_version": SCHEMA_VERSION,
         "bench": bench,
         "manifest": run_manifest(seed=seed, extra=manifest_extra),
         "obs": _jsonify(registry.telemetry_snapshot()),
+        # The shard-mergeable view (integer accumulators + sparse
+        # histogram buckets): `repro obs slo` reads its histograms for
+        # budget math, and shard telemetry aggregates through
+        # repro.obs.export.merge_snapshots.
+        "merge": _jsonify(mergeable_snapshot(registry)),
         "rows": _jsonify(list(rows or [])),
         "tables": _jsonify({k: list(v) for k, v in (tables or {}).items()}),
     }
@@ -174,7 +181,11 @@ class Comparison:
     metric: str
     max_regress: float
     rows: List[CompareRow]
-    skipped: List[str]     # stages present in only one document
+    skipped: List[str]     # stages new in the current run (informational)
+    # Stages the baseline recorded but the current run did not: a
+    # renamed or deleted span would otherwise silently escape the gate,
+    # so these fail the comparison outright.
+    missing: List[str] = dataclasses.field(default_factory=list)
 
     @property
     def regressions(self) -> List[CompareRow]:
@@ -182,7 +193,7 @@ class Comparison:
 
     @property
     def ok(self) -> bool:
-        return not self.regressions
+        return not self.regressions and not self.missing
 
     def summary(self) -> str:
         lines = [
@@ -205,7 +216,20 @@ class Comparison:
             lines.append("(no comparable stages)")
         if self.skipped:
             lines.append(f"skipped (not in both runs): {', '.join(self.skipped)}")
-        status = "OK" if self.ok else f"{len(self.regressions)} stage(s) regressed"
+        if self.missing:
+            lines.append(
+                f"MISSING from current run: {', '.join(self.missing)} — "
+                f"baseline stages that were not recorded (renamed or "
+                f"deleted span?); regenerate the baseline if intentional")
+        if self.ok:
+            status = "OK"
+        else:
+            parts = []
+            if self.regressions:
+                parts.append(f"{len(self.regressions)} stage(s) regressed")
+            if self.missing:
+                parts.append(f"{len(self.missing)} baseline stage(s) missing")
+            status = ", ".join(parts)
         lines.append(f"result: {status}")
         return "\n".join(lines)
 
@@ -233,11 +257,19 @@ def compare_telemetry(
     grew by more than ``max_regress`` (fractional, e.g. ``0.15``) counts
     as a regression.
 
-    ``metric="share"`` compares each stage's fraction of the run's
-    dominant stage total (machine-speed independent — use it to compare
-    runs from different hardware); the absolute metrics (``p50_s``,
+    ``metric="share"`` compares each stage's fraction of the dominant
+    stage total (machine-speed independent — use it to compare runs
+    from different hardware); the absolute metrics (``p50_s``,
     ``mean_s``, ``total_s``, ``max_s``) are for same-machine
-    trajectories.
+    trajectories.  When a ``stages`` allowlist is given, the share
+    normalizer is the dominant total *among those stages*, so adding
+    unrelated instrumentation elsewhere cannot shift a scoped gate.
+
+    A stage the baseline recorded but the current run did not lands in
+    ``missing`` and fails the comparison — a renamed or deleted span
+    must not silently escape the gate.  Stages only the current run
+    recorded stay informational (``skipped``): new instrumentation is
+    not a regression.
     """
     if metric not in _METRICS:
         raise ValueError(f"metric must be one of {_METRICS}, got {metric!r}")
@@ -246,15 +278,21 @@ def compare_telemetry(
     names = stages or sorted(set(base_timers) | set(cur_timers))
 
     def normalizer(timers: Dict[str, Dict[str, float]]) -> float:
-        return max((s.get("total_s", 0.0) for s in timers.values()),
+        pool = ({n: timers[n] for n in stages if n in timers}
+                if stages else timers)
+        return max((s.get("total_s", 0.0) for s in pool.values()),
                    default=0.0)
 
     base_norm, cur_norm = normalizer(base_timers), normalizer(cur_timers)
     rows: List[CompareRow] = []
     skipped: List[str] = []
+    missing: List[str] = []
     for name in names:
         base_stats, cur_stats = base_timers.get(name), cur_timers.get(name)
-        if base_stats is None or cur_stats is None:
+        if base_stats is not None and cur_stats is None:
+            missing.append(name)
+            continue
+        if base_stats is None:
             skipped.append(name)
             continue
         base_value = _metric_value(base_stats, metric, base_norm)
@@ -271,4 +309,4 @@ def compare_telemetry(
             regressed=change > max_regress,
         ))
     return Comparison(metric=metric, max_regress=max_regress,
-                      rows=rows, skipped=skipped)
+                      rows=rows, skipped=skipped, missing=missing)

@@ -50,6 +50,9 @@ def chrome_trace(spans: Iterable[SpanLike],
     for span in spans:
         record = _as_dict(span)
         tids.add(record["tid"])
+        args = dict(record.get("attrs") or {})
+        if record.get("trace_id"):
+            args["trace_id"] = record["trace_id"]
         events.append({
             "name": record["name"],
             "cat": "repro",
@@ -58,7 +61,7 @@ def chrome_trace(spans: Iterable[SpanLike],
             "dur": record["dur_us"],
             "pid": pid,
             "tid": record["tid"],
-            "args": dict(record.get("attrs") or {}),
+            "args": args,
         })
     for index, tid in enumerate(sorted(tids)):
         events.append({
@@ -82,7 +85,7 @@ def span_tree(spans: Iterable[SpanLike]) -> List[Dict[str, Any]]:
     nodes: Dict[int, Dict[str, Any]] = {}
     records = [_as_dict(s) for s in spans]
     for record in records:
-        nodes[record["span_id"]] = {
+        node = {
             "name": record["name"],
             "span_id": record["span_id"],
             "start_us": record["start_us"],
@@ -91,6 +94,9 @@ def span_tree(spans: Iterable[SpanLike]) -> List[Dict[str, Any]]:
             "attrs": dict(record.get("attrs") or {}),
             "children": [],
         }
+        if record.get("trace_id"):
+            node["trace_id"] = record["trace_id"]
+        nodes[record["span_id"]] = node
     roots: List[Dict[str, Any]] = []
     for record in records:
         node = nodes[record["span_id"]]

@@ -26,6 +26,7 @@ from repro.serve.engine import (
     DetectionEngine,
     EngineClosed,
     EngineConfig,
+    EngineRejected,
 )
 
 __all__ = [
@@ -35,4 +36,5 @@ __all__ = [
     "DetectionEngine",
     "EngineClosed",
     "EngineConfig",
+    "EngineRejected",
 ]

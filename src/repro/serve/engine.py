@@ -7,7 +7,9 @@ share one model forward.  The :class:`DetectionEngine` bridges the two:
 * :meth:`DetectionEngine.submit` enqueues a scene on a **bounded** queue
   and returns a future — when the queue is full the call blocks, which
   is the backpressure signal (producers slow to the engine's pace
-  instead of growing an unbounded backlog);
+  instead of growing an unbounded backlog); ``block=False`` turns the
+  same condition into an immediate :class:`EngineRejected` (counted as
+  ``engine.rejected``) for callers that would rather drop than wait;
 * worker threads drain the queue into micro-batches, flushing when
   ``max_batch`` scenes are pending or ``flush_ms`` after the first
   scene of a batch arrived — the classic latency/throughput knob pair;
@@ -18,10 +20,23 @@ share one model forward.  The :class:`DetectionEngine` bridges the two:
   outstanding work, then stops the workers.
 
 Observability: every flush records the ``engine.batch_size`` and
-``engine.queue_depth`` distributions, ``engine.queue_wait`` (time from
-submit to flush) and ``engine.batch`` timers, and the
-``engine.{scenes,batches}`` counters — all visible in
-``repro obs report`` and the ``BENCH_*.json`` telemetry.
+``engine.queue_depth`` distributions, the ``engine.{scenes,batches}``
+counters, and — per job — two separate spans, so backpressure is
+distinguishable from slow inference in traces and ``/metrics``:
+
+* ``engine.queue_wait`` — submit to flush start (time spent queued);
+* ``engine.execute`` — the batched forward interval the request rode
+  (its perceived inference time; batch peers share the interval).
+
+Request tracing: ``submit`` captures the caller's
+:class:`repro.obs.context.RequestContext`, so the per-job spans carry
+the submitter's trace id and re-parent under its request span even
+though they are recorded on a worker thread, and the contexts ride
+down to ``session.detect_batch(..., contexts=...)`` when the session
+accepts them (the cascade session does — every routing decision
+becomes attributable to a trace).  An installed
+:class:`repro.obs.sampler.ExemplarSampler` sees per-request durations
+(tail sampling) and dumps its flight recorder when a batch raises.
 
 Determinism: batch *composition* depends on arrival timing, so only a
 batch-invariant model makes concurrent results bit-identical to
@@ -33,6 +48,7 @@ within an ulp or two (see ``TaskDetector.detect_batch``).
 from __future__ import annotations
 
 import dataclasses
+import inspect
 import queue
 import threading
 import time
@@ -40,6 +56,8 @@ from concurrent.futures import Future
 from typing import TYPE_CHECKING, List, Optional, Sequence
 
 from repro.obs import get_registry
+from repro.obs.context import RequestContext, current_context
+from repro.obs.sampler import get_sampler
 
 if TYPE_CHECKING:
     from repro.data.scenes import Scene
@@ -49,6 +67,10 @@ if TYPE_CHECKING:
 
 class EngineClosed(RuntimeError):
     """Raised by ``submit`` after the engine has been closed."""
+
+
+class EngineRejected(RuntimeError):
+    """Raised by non-blocking ``submit`` when the queue is full."""
 
 
 @dataclasses.dataclass(frozen=True)
@@ -84,13 +106,15 @@ class EngineConfig:
 
 
 class _Job:
-    __slots__ = ("scene", "stride", "future", "enqueued_s")
+    __slots__ = ("scene", "stride", "future", "enqueued_s", "ctx")
 
-    def __init__(self, scene: "Scene", stride: Optional[int]) -> None:
+    def __init__(self, scene: "Scene", stride: Optional[int],
+                 ctx: Optional[RequestContext]) -> None:
         self.scene = scene
         self.stride = stride
         self.future: "Future[List[Detection]]" = Future()
         self.enqueued_s = time.perf_counter()
+        self.ctx = ctx
 
 
 _SENTINEL = object()
@@ -103,6 +127,9 @@ class DetectionEngine:
                  config: Optional[EngineConfig] = None) -> None:
         self.session = session
         self.config = config or EngineConfig()
+        # Sessions that accept per-scene request contexts (the cascade
+        # session does) get them; plain sessions keep their signature.
+        self._pass_contexts = self._accepts_contexts(session.detect_batch)
         self._queue: "queue.Queue[object]" = queue.Queue(
             maxsize=self.config.queue_size)
         self._closed = False
@@ -115,15 +142,40 @@ class DetectionEngine:
         for worker in self._workers:
             worker.start()
 
+    @staticmethod
+    def _accepts_contexts(detect_batch) -> bool:
+        try:
+            return "contexts" in inspect.signature(detect_batch).parameters
+        except (TypeError, ValueError):  # builtins / C callables
+            return False
+
     # -- submission ----------------------------------------------------
-    def submit(self, scene: "Scene",
-               stride: Optional[int] = None) -> "Future[List[Detection]]":
-        """Enqueue one scene; blocks when the queue is full (backpressure)."""
+    def submit(self, scene: "Scene", stride: Optional[int] = None, *,
+               block: bool = True,
+               timeout: Optional[float] = None) -> "Future[List[Detection]]":
+        """Enqueue one scene; blocks when the queue is full (backpressure).
+
+        With ``block=False`` (or a ``timeout``), a full queue raises
+        :class:`EngineRejected` instead — the load-shedding flavor of
+        backpressure — and bumps the ``engine.rejected`` counter so
+        rejected traffic is visible next to served traffic.
+        """
         if self._closed:
             raise EngineClosed("engine is closed")
         get_registry().observe("engine.queue_depth", self._queue.qsize())
-        job = _Job(scene, stride)
-        self._queue.put(job)
+        job = _Job(scene, stride, current_context())
+        try:
+            self._queue.put(job, block=block, timeout=timeout)
+        except queue.Full:
+            get_registry().count("engine.rejected")
+            sampler = get_sampler()
+            if sampler is not None:
+                sampler.flight.record(
+                    "rejected",
+                    trace_id=job.ctx.trace_id if job.ctx else None,
+                    queue_depth=self._queue.qsize())
+            raise EngineRejected(
+                f"queue full ({self.config.queue_size} scenes)") from None
         return job.future
 
     def detect_many(self, scenes: Sequence["Scene"],
@@ -215,27 +267,75 @@ class DetectionEngine:
 
     def _flush(self, batch: List[_Job]) -> None:
         obs = get_registry()
-        now = time.perf_counter()
+        flush_start = time.perf_counter()
         if obs.enabled:
             obs.observe("engine.batch_size", len(batch))
             obs.count("engine.batches")
             obs.count("engine.scenes", len(batch))
-            wait_timer = obs.timer("engine.queue_wait")
             for job in batch:
-                wait_timer.record(now - job.enqueued_s)
+                # Queued interval, attributed to the submitter's trace
+                # and parented under its request span even though this
+                # runs on a worker thread.
+                obs.record_span(
+                    "engine.queue_wait", job.enqueued_s, flush_start,
+                    trace_id=job.ctx.trace_id if job.ctx else None,
+                    parent_id=job.ctx.parent_span_id if job.ctx else None)
+        error: Optional[BaseException] = None
         try:
-            with obs.span("engine.batch", scenes=len(batch)):
+            with obs.span("engine.batch", scenes=len(batch)) as batch_span:
                 # Jobs may carry different strides; group per stride so
                 # each group still shares one fused forward.
                 by_stride: "dict[Optional[int], List[_Job]]" = {}
                 for job in batch:
                     by_stride.setdefault(job.stride, []).append(job)
                 for stride, jobs in by_stride.items():
-                    results = self.session.detect_batch(
-                        [job.scene for job in jobs], stride=stride)
+                    exec_start = time.perf_counter()
+                    try:
+                        scenes = [job.scene for job in jobs]
+                        if self._pass_contexts:
+                            results = self.session.detect_batch(
+                                scenes, stride=stride,
+                                contexts=[job.ctx for job in jobs])
+                        else:
+                            results = self.session.detect_batch(
+                                scenes, stride=stride)
+                    finally:
+                        self._record_execute(
+                            obs, jobs, exec_start, time.perf_counter(),
+                            batch_span)
                     for job, detections in zip(jobs, results):
                         job.future.set_result(detections)
-        except BaseException as error:  # fail the whole batch, keep serving
+        except BaseException as exc:  # fail the whole batch, keep serving
+            error = exc
             for job in batch:
                 if not job.future.done():
-                    job.future.set_exception(error)
+                    job.future.set_exception(exc)
+        if error is not None:
+            sampler = get_sampler()
+            if sampler is not None:
+                sampler.record_engine_error(
+                    error, scenes=len(batch), registry=obs,
+                    trace_ids=[job.ctx.trace_id if job.ctx else None
+                               for job in batch])
+
+    @staticmethod
+    def _record_execute(obs, jobs: List[_Job], exec_start: float,
+                        exec_end: float, batch_span) -> None:
+        if not obs.enabled:
+            return
+        sampler = get_sampler()
+        batch_span_id = getattr(batch_span, "span_id", None)
+        for job in jobs:
+            # The request's perceived inference time is the whole fused
+            # interval it rode, not an amortized slice.
+            obs.record_span(
+                "engine.execute", exec_start, exec_end,
+                trace_id=job.ctx.trace_id if job.ctx else None,
+                parent_id=(job.ctx.parent_span_id
+                           if job.ctx and job.ctx.parent_span_id is not None
+                           else batch_span_id))
+            if sampler is not None and job.ctx is not None:
+                sampler.observe_request(
+                    job.ctx.trace_id, exec_end - job.enqueued_s,
+                    meta={"tenant": job.ctx.tenant,
+                          "mission": job.ctx.mission})

@@ -174,6 +174,24 @@ class MissionSession:
 
         return DetectionEngine(self, config=config)
 
+    def request_scope(self, tenant: Optional[str] = None,
+                      deadline_ms: Optional[float] = None, **attrs):
+        """A traced request scope bound to this mission.
+
+        Context manager minting a :class:`repro.obs.RequestContext`
+        whose ``mission`` is this session's fingerprint, so spans and
+        cascade decisions recorded for the request — including on
+        engine worker threads — attribute back to both the request and
+        the mission:
+
+            with session.request_scope(tenant="acme") as ctx:
+                future = engine.submit(scene)
+        """
+        from repro.obs.context import request_context
+
+        return request_context(tenant=tenant, mission=self.key,
+                               deadline_ms=deadline_ms, **attrs)
+
     def __repr__(self) -> str:
         return (f"MissionSession(task={self.spec.name!r}, "
                 f"configuration={self.decision.kind!r}, "
