@@ -179,6 +179,27 @@ class CascadeSession:
             self._decisions.clear()
             return decisions
 
+    def decision_summary(self) -> List[Dict]:
+        """JSON-able view of the decision log, *without* clearing it.
+
+        This is what a shard worker returns for the front-end's
+        ``decisions`` probe: route/margin/reason/trace_id per scene, so
+        shed decisions made in a worker process can be audited — and
+        compared bit-for-bit against an in-process run — from the
+        router side.
+        """
+        with self._lock:
+            return [
+                {
+                    "scene_index": d.scene_index,
+                    "route": d.route,
+                    "margin": d.margin,
+                    "reason": d.reason,
+                    "trace_id": d.trace_id,
+                }
+                for d in self._decisions
+            ]
+
     def __repr__(self) -> str:
         pin = "pinned" if self.router.pinned else "margin"
         if self.session is None:

@@ -310,6 +310,80 @@ def _cmd_engine_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_engine_serve(args: argparse.Namespace) -> int:
+    """Sharded serving: N engine processes behind a routing front-end.
+
+    Workers rebuild their sessions from the artifact registry (see
+    :class:`repro.serve.TaskSessionFactory`), each exposes its own
+    ephemeral-port metrics endpoint, and the front-end serves the
+    merged cross-shard ``/snapshot`` — point ``repro obs top`` at the
+    front-end URL, or at every shard URL to merge client-side.
+    """
+    import time
+
+    from repro.data import SceneConfig, SceneGenerator
+    from repro.obs.context import request_context
+    from repro.obs.registry import FP_SCALE
+    from repro.serve import (
+        EngineConfig,
+        ShardConfig,
+        ShardRejected,
+        ShardRouter,
+        TaskSessionFactory,
+    )
+
+    tasks = [name.strip() for name in args.tasks.split(",") if name.strip()]
+    factory = TaskSessionFactory(seed=args.seed, cascade=args.cascade)
+    config = ShardConfig(
+        num_shards=args.shards,
+        engine=EngineConfig(max_batch=args.max_batch, workers=args.workers),
+        queue_size=args.queue_size,
+        metrics=True,
+        base_seed=args.seed,
+    )
+    router = ShardRouter(factory, config)
+    front = router.serve_metrics(host=args.host, port=args.port)
+    try:
+        for info in router.shard_info():
+            print(f"shard {info['shard']}: pid={info['pid']} "
+                  f"metrics={info['metrics_url']} seed={info['seed']}")
+        print(f"front-end (merged): {front.url}/snapshot")
+        scenes = [SceneGenerator(SceneConfig(grid=args.grid),
+                                 seed=seed).generate()
+                  for seed in range(8)]
+        served = rejected = 0
+        for i in range(args.scenes):
+            mission = tasks[i % len(tasks)]
+            with request_context(name="serve.request", tenant="cli",
+                                 mission=mission):
+                try:
+                    future = router.submit(scenes[i % len(scenes)], mission)
+                except ShardRejected:
+                    rejected += 1
+                    continue
+            future.result()
+            served += 1
+        print(f"served {served} scene(s) across {len(tasks)} mission(s), "
+              f"{rejected} shed")
+        merged = router.aggregate_snapshot()
+        for name in ("engine.scenes", "engine.batches", "engine.rejected",
+                     "session.cache.miss", "session.cache.hit"):
+            state = merged.get("counters", {}).get(name)
+            if state:
+                print(f"  {name} = {state['value_fp'] / FP_SCALE:g}")
+        if args.hold:
+            print(f"holding for {args.hold:g}s — scrape away (Ctrl-C to "
+                  "stop early)")
+            try:
+                time.sleep(args.hold)
+            except KeyboardInterrupt:
+                pass
+    finally:
+        front.stop()
+        router.close()
+    return 0
+
+
 def _cmd_quant_bench(args: argparse.Namespace) -> int:
     from repro.quant.bench import run_forward_latency, run_kernel_latency
 
@@ -496,25 +570,47 @@ def _obs_demo_traffic(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_obs_top(args: argparse.Namespace) -> int:
+def _fetch_merged_snapshot(urls, timeout: float = 5.0):
+    """Fetch ``/snapshot`` from each base URL and merge the documents.
+
+    One URL degenerates to that endpoint's own document re-normalized
+    through :func:`repro.obs.merge_snapshots` (an exact identity on the
+    accumulator state); several URLs — e.g. every shard of a
+    ``repro engine serve`` deployment — merge bit-exactly, so terminal
+    totals match a single-process run of the same workload.
+    """
     import json
+    import urllib.request
+
+    from repro.obs.export import merge_snapshots
+
+    docs = []
+    for url in urls:
+        endpoint = url.rstrip("/") + "/snapshot"
+        with urllib.request.urlopen(endpoint, timeout=timeout) as resp:
+            docs.append(json.load(resp))
+    return merge_snapshots(docs)
+
+
+def _cmd_obs_top(args: argparse.Namespace) -> int:
     import time
     import urllib.error
-    import urllib.request
 
     from repro.obs.export import snapshot_delta, timer_state_stats
     from repro.obs.registry import FP_SCALE
 
-    url = args.url.rstrip("/") + "/snapshot"
+    urls = args.url or ["http://127.0.0.1:9464"]
+    if len(urls) > 1:
+        print(f"merging {len(urls)} endpoints: {', '.join(urls)}")
     previous = None
     frames = 0
     try:
         while args.frames is None or frames < args.frames:
             try:
-                with urllib.request.urlopen(url, timeout=5) as resp:
-                    snapshot = json.load(resp)
+                snapshot = _fetch_merged_snapshot(urls)
             except (urllib.error.URLError, OSError) as exc:
-                print(f"cannot reach {url}: {exc}", file=sys.stderr)
+                print(f"cannot reach snapshot endpoint(s): {exc}",
+                      file=sys.stderr)
                 return 1
             if previous is not None:
                 delta = snapshot_delta(snapshot, previous)
@@ -868,6 +964,39 @@ def build_parser() -> argparse.ArgumentParser:
                               help="comma-separated engine worker sweep")
     engine_bench.set_defaults(func=_cmd_engine_bench)
 
+    engine_serve = engine_sub.add_parser(
+        "serve",
+        help="sharded serving: N engine processes behind a routing "
+             "front-end with merged metrics")
+    engine_serve.add_argument("--shards", type=int, default=2,
+                              help="worker processes")
+    engine_serve.add_argument("--tasks",
+                              default="roadside_hazards,cargo_audit",
+                              help="comma-separated missions to serve")
+    engine_serve.add_argument("--scenes", type=int, default=32,
+                              help="scenes to drive through the tier")
+    engine_serve.add_argument("--grid", type=int, default=3)
+    engine_serve.add_argument("--seed", type=int, default=0,
+                              help="artifact/base seed")
+    engine_serve.add_argument("--max-batch", type=int, default=8,
+                              help="per-shard engine max_batch")
+    engine_serve.add_argument("--workers", type=int, default=1,
+                              help="threads per shard engine")
+    engine_serve.add_argument("--queue-size", type=int, default=64,
+                              help="per-shard front-end queue bound")
+    engine_serve.add_argument("--cascade", action="store_true",
+                              help="serve each mission through the "
+                                   "cascade router")
+    engine_serve.add_argument("--host", default="127.0.0.1",
+                              help="front-end aggregator host")
+    engine_serve.add_argument("--port", type=int, default=0,
+                              help="front-end aggregator port "
+                                   "(0 = ephemeral)")
+    engine_serve.add_argument("--hold", type=float, default=None,
+                              help="seconds to keep serving metrics "
+                                   "after the workload")
+    engine_serve.set_defaults(func=_cmd_engine_serve)
+
     quant = sub.add_parser(
         "quant", help="quantized-inference utilities (exact BLAS kernels)")
     quant_sub = quant.add_subparsers(dest="quant_command", required=True)
@@ -953,8 +1082,10 @@ def build_parser() -> argparse.ArgumentParser:
         "top",
         help="poll a serve endpoint's /snapshot; print interval rates "
              "and percentiles")
-    obs_top.add_argument("--url", default="http://127.0.0.1:9464",
-                         help="base URL of a running `repro obs serve`")
+    obs_top.add_argument("--url", action="append", default=None,
+                         help="base URL of a running `repro obs serve` / "
+                              "shard endpoint; repeat to merge several "
+                              "(default: http://127.0.0.1:9464)")
     obs_top.add_argument("--interval", type=float, default=2.0,
                          help="seconds between polls")
     obs_top.add_argument("--frames", type=int, default=None,

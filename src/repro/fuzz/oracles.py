@@ -540,6 +540,36 @@ def oracle_cascade_routing(spec: ScenarioSpec,
     return divergences
 
 
+def oracle_sharded_engine(spec: ScenarioSpec,
+                          ctx: "ExecutionContext") -> List[Divergence]:
+    """Sharded results == single-process results, bit for bit.
+
+    Routes the scenario's scenes through a real 2-process
+    :class:`~repro.serve.shard.ShardRouter` (forked workers, pickled
+    scenes, wire-format contexts) and compares against sequential
+    per-scene detection on the same quantized detector.  The quantized
+    configuration is exactly batch-invariant, so any divergence is a
+    transport or routing bug — scene corruption in pickling, result
+    misassociation across the pipe, reroute double-serving — not model
+    noise.  Float models are excluded on purpose: their scores are only
+    ulp-equal across batch compositions, which is tolerance territory,
+    while this oracle's whole point is exactness.
+
+    Skipped on platforms without the ``fork`` start method (closure
+    factories require it).
+    """
+    import multiprocessing
+
+    if "fork" not in multiprocessing.get_all_start_methods():
+        return []
+    detector = ctx.make_detector("quantized")
+    reference = [detector.detect(scene) for scene in ctx.scenes]
+    sharded = ctx.run_sharded_engine(detector, ctx.scenes)
+    return compare_detections(
+        "sharded_engine", "fork-2-shards", reference, sharded,
+        exact=True, threshold=spec.score_threshold)
+
+
 #: Ordered oracle registry: (name, callable).
 ORACLES = (
     ("static_paths", oracle_static_paths),
@@ -548,4 +578,5 @@ ORACLES = (
     ("stream_metrics", oracle_stream_metrics),
     ("pipeline_session", oracle_pipeline_session),
     ("cascade_routing", oracle_cascade_routing),
+    ("sharded_engine", oracle_sharded_engine),
 )

@@ -193,6 +193,46 @@ class ExecutionContext:
         with DetectionEngine(_EngineSession(detector), config=config) as engine:
             return engine.detect_many(scenes)
 
+    def run_sharded_engine(self, detector: TaskDetector,
+                           scenes: Sequence[Scene],
+                           num_shards: int = 2) -> List[List[Detection]]:
+        """Scenes through a real multi-process :class:`ShardRouter`.
+
+        Every shard serves the same detector (the factory closes over
+        it; the ``fork`` start method copies it into each worker), and
+        scenes alternate between ``num_shards`` synthetic mission keys
+        chosen to land on distinct shards — so the run genuinely
+        crosses the process boundary on every shard, not just one.
+        Results are gathered in submission order.
+        """
+        from repro.serve.engine import EngineConfig
+        from repro.serve.shard import (
+            ShardConfig, ShardRouter, shard_for_mission,
+        )
+
+        def mission_for_shard(target: int) -> str:
+            index = 0
+            while True:
+                name = f"fuzz-mission-{index}"
+                if shard_for_mission(name, num_shards) == target:
+                    return name
+                index += 1
+
+        missions = [mission_for_shard(i) for i in range(num_shards)]
+        config = ShardConfig(
+            num_shards=num_shards,
+            engine=EngineConfig(max_batch=self.spec.engine_max_batch,
+                                workers=self.spec.engine_workers),
+            start_method="fork",
+        )
+        with ShardRouter(lambda mission: _EngineSession(detector),
+                         config) as router:
+            futures = [
+                router.submit(scene, missions[index % num_shards])
+                for index, scene in enumerate(scenes)
+            ]
+            return [future.result() for future in futures]
+
     # -- pipeline / cascade construction --------------------------------
     def llm_noise(self) -> "LLMNoiseConfig":
         return LLMNoiseConfig(

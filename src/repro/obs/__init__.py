@@ -36,6 +36,8 @@ On top of that process-lifetime layer sits the request/live surface:
 
 from repro.obs.context import (
     RequestContext,
+    context_from_wire,
+    context_to_wire,
     current_context,
     new_trace_id,
     request_context,
@@ -49,6 +51,7 @@ from repro.obs.registry import (
     Span,
     Timer,
     get_registry,
+    install_registry,
     traced,
 )
 from repro.obs.series import (
@@ -100,8 +103,11 @@ __all__ = [
     "Span",
     "Timer",
     "get_registry",
+    "install_registry",
     "traced",
     "RequestContext",
+    "context_from_wire",
+    "context_to_wire",
     "current_context",
     "new_trace_id",
     "request_context",

@@ -39,6 +39,8 @@ from typing import Any, Iterator, Optional
 
 __all__ = [
     "RequestContext",
+    "context_from_wire",
+    "context_to_wire",
     "current_context",
     "new_trace_id",
     "request_context",
@@ -50,6 +52,18 @@ __all__ = [
 # snapshots/exemplars are merged downstream.
 _PROCESS_TAG = f"{os.getpid():x}-{os.urandom(4).hex()}"
 _TRACE_IDS = itertools.count(1)
+
+
+def _refresh_process_tag() -> None:
+    # A forked child inherits the parent's tag and counter; without a
+    # refresh two shard processes would mint colliding trace ids.
+    global _PROCESS_TAG, _TRACE_IDS
+    _PROCESS_TAG = f"{os.getpid():x}-{os.urandom(4).hex()}"
+    _TRACE_IDS = itertools.count(1)
+
+
+if hasattr(os, "register_at_fork"):  # pragma: no branch — posix only
+    os.register_at_fork(after_in_child=_refresh_process_tag)
 
 _CURRENT: contextvars.ContextVar[Optional["RequestContext"]] = \
     contextvars.ContextVar("repro_obs_request_context", default=None)
@@ -146,3 +160,43 @@ def request_context(trace_id: Optional[str] = None, *,
                 _CURRENT.reset(inner)
     finally:
         _CURRENT.reset(token)
+
+
+# ----------------------------------------------------------------------
+# Cross-process wire format
+# ----------------------------------------------------------------------
+def context_to_wire(ctx: Optional[RequestContext]) -> Optional[dict]:
+    """Serialize a context for a process hop (shard dispatch).
+
+    ``deadline_s`` is an absolute ``time.perf_counter()`` timestamp,
+    which is meaningless in another process (each process has its own
+    clock origin), so the wire carries the *remaining* budget instead
+    and :func:`context_from_wire` re-anchors it on the receiver's
+    clock.  ``parent_span_id`` is a process-local span id and does not
+    cross; the shared ``trace_id`` is what joins the two processes'
+    spans into one logical trace.
+    """
+    if ctx is None:
+        return None
+    return {
+        "trace_id": ctx.trace_id,
+        "tenant": ctx.tenant,
+        "mission": ctx.mission,
+        "remaining_ms": (None if ctx.deadline_s is None
+                         else ctx.remaining_s() * 1e3),
+    }
+
+
+def context_from_wire(wire: Optional[dict]) -> Optional[RequestContext]:
+    """Rebuild a :class:`RequestContext` on the receiving process."""
+    if wire is None:
+        return None
+    remaining_ms = wire.get("remaining_ms")
+    deadline = (time.perf_counter() + remaining_ms / 1e3
+                if remaining_ms is not None else None)
+    return RequestContext(
+        trace_id=wire["trace_id"],
+        tenant=wire.get("tenant"),
+        mission=wire.get("mission"),
+        deadline_s=deadline,
+    )

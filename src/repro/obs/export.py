@@ -348,15 +348,30 @@ class MetricsServer:
     .DetectionEngine` and scrape while traffic flows.  ``slos`` is an
     optional list of :class:`repro.obs.slo.SLO` evaluated live per
     request to ``/slo``.
+
+    ``port=0`` (the default) binds an ephemeral port — the bind happens
+    in the constructor and :attr:`port`/:attr:`url` report the actual
+    kernel-chosen value, so N shard processes on one host never collide
+    and each can report its real endpoint back to the front-end
+    aggregator.
+
+    ``snapshot_fn`` turns the server into an *aggregation endpoint*:
+    when provided, ``/snapshot`` serves ``snapshot_fn()`` instead of
+    this process's registry and ``/metrics`` renders the same document.
+    The shard front-end uses this with
+    ``lambda: merge_snapshots(shard_documents)`` so its ``/snapshot``
+    is bit-identical to the merge of the individual shard snapshots.
     """
 
     def __init__(self, registry: Optional[Registry] = None, *,
                  host: str = "127.0.0.1", port: int = 0,
                  series: Any = None,
-                 slos: Optional[List[Any]] = None) -> None:
+                 slos: Optional[List[Any]] = None,
+                 snapshot_fn: Optional[Any] = None) -> None:
         self.registry = registry or get_registry()
         self.series = series if series is not None else self.registry.series
         self.slos = slos
+        self.snapshot_fn = snapshot_fn
         self._started_s = time.time()
         server = self
 
@@ -376,8 +391,13 @@ class MetricsServer:
                 path = self.path.split("?", 1)[0]
                 try:
                     if path == "/metrics":
-                        body = prometheus_text(
-                            server.registry, series=server.series).encode()
+                        if server.snapshot_fn is not None:
+                            body = prometheus_text(
+                                snapshot=server.snapshot_fn()).encode()
+                        else:
+                            body = prometheus_text(
+                                server.registry,
+                                series=server.series).encode()
                         self._send(200,
                                    "text/plain; version=0.0.4; charset=utf-8",
                                    body)
@@ -402,8 +422,11 @@ class MetricsServer:
                         self._send(200, "application/json",
                                    json.dumps(doc).encode())
                     elif path == "/snapshot":
-                        doc = mergeable_snapshot(
-                            server.registry, series=server.series)
+                        if server.snapshot_fn is not None:
+                            doc = server.snapshot_fn()
+                        else:
+                            doc = mergeable_snapshot(
+                                server.registry, series=server.series)
                         self._send(200, "application/json",
                                    json.dumps(doc).encode())
                     else:

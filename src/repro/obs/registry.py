@@ -730,6 +730,20 @@ def get_registry() -> Registry:
     return _GLOBAL
 
 
+def install_registry(registry: Registry) -> Registry:
+    """Replace the process-wide registry; returns the previous one.
+
+    Shard worker bootstrap installs a *fresh* registry after fork: the
+    inherited one carries the parent's accumulated metrics (which would
+    double-count in merged snapshots) and locks whose state at fork
+    time is not guaranteed clean.
+    """
+    global _GLOBAL
+    previous = _GLOBAL
+    _GLOBAL = registry
+    return previous
+
+
 def traced(name: Optional[str] = None) -> Callable:
     """``@traced("stage")`` — time calls into the global registry."""
     return _GLOBAL.traced(name)

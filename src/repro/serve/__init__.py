@@ -14,7 +14,12 @@ package is its execution engine, in three layers:
 * :class:`DetectionEngine` — a bounded-queue worker pool that
   micro-batches individually submitted scenes (flush at ``max_batch``
   scenes or after ``flush_ms``), applies backpressure when the queue is
-  full, shuts down gracefully, and returns results in submission order.
+  full, shuts down gracefully, and returns results in submission order;
+* :class:`ShardRouter` — a multi-process tier over N such engines:
+  mission-fingerprint affinity routing, bounded per-shard queues with
+  shedding and per-tenant fairness, graceful drain on SIGTERM, and
+  bit-exact cross-shard metrics aggregation (see :mod:`repro.serve
+  .shard`).
 
 :class:`repro.core.ITaskPipeline` stays the friendly facade: it now
 routes ``prepare``/``detect``/``evaluate`` through this cache and hands
@@ -28,6 +33,15 @@ from repro.serve.engine import (
     EngineConfig,
     EngineRejected,
 )
+from repro.serve.shard import (
+    ShardClosed,
+    ShardConfig,
+    ShardRejected,
+    ShardRouter,
+    TaskSessionFactory,
+    shard_for_mission,
+    worker_seed,
+)
 
 __all__ = [
     "MissionSession",
@@ -37,4 +51,11 @@ __all__ = [
     "EngineClosed",
     "EngineConfig",
     "EngineRejected",
+    "ShardClosed",
+    "ShardConfig",
+    "ShardRejected",
+    "ShardRouter",
+    "TaskSessionFactory",
+    "shard_for_mission",
+    "worker_seed",
 ]

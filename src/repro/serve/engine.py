@@ -152,18 +152,25 @@ class DetectionEngine:
     # -- submission ----------------------------------------------------
     def submit(self, scene: "Scene", stride: Optional[int] = None, *,
                block: bool = True,
-               timeout: Optional[float] = None) -> "Future[List[Detection]]":
+               timeout: Optional[float] = None,
+               ctx: Optional[RequestContext] = None,
+               ) -> "Future[List[Detection]]":
         """Enqueue one scene; blocks when the queue is full (backpressure).
 
         With ``block=False`` (or a ``timeout``), a full queue raises
         :class:`EngineRejected` instead — the load-shedding flavor of
         backpressure — and bumps the ``engine.rejected`` counter so
         rejected traffic is visible next to served traffic.
+
+        ``ctx`` overrides the implicit :func:`current_context` capture;
+        a shard worker submitting on behalf of a remote caller passes
+        the deserialized wire context here, since the caller's
+        ContextVar never crossed the process boundary.
         """
         if self._closed:
             raise EngineClosed("engine is closed")
         get_registry().observe("engine.queue_depth", self._queue.qsize())
-        job = _Job(scene, stride, current_context())
+        job = _Job(scene, stride, ctx if ctx is not None else current_context())
         try:
             self._queue.put(job, block=block, timeout=timeout)
         except queue.Full:
