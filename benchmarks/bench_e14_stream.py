@@ -1,0 +1,173 @@
+"""E14 — Incremental streaming detection: delta gating across motion densities.
+
+The streaming detector's frame-delta gate makes per-frame cost scale
+with scene *change* instead of scene size: unchanged grid cells reuse
+their cached raw score bit-for-bit instead of re-entering the model
+forward.  This benchmark drives N independent camera feeds (the
+multi-camera surveillance workload the paper's edge deployment targets)
+through a full-recompute pass and a delta-gated pass over identical
+pre-rendered frames, sweeping motion density from fully static to
+every-cell-changes.
+
+Three tables:
+
+* ``sweep`` — frames/sec, speedup, gate hit rate, and bit-identity per
+  motion density under exact gating;
+* ``carryover`` — tracker-prior carryover (``motion_threshold > 0``) on
+  a jittery feed, reporting carried reuses and the MOTA-style quality
+  delta the approximation costs;
+* ``manifest-level`` counters: ``stream.cells.{skipped,recomputed}``
+  and the ``stream.delta_gate.hit_rate`` distribution ride into the
+  telemetry automatically.
+
+**Acceptance gate** (full mode): on the mostly-static multi-camera
+sweep point (motion density ``0.05``) the gated pass must run at least
+``MIN_SPEEDUP`` (3x) faster than full recompute **and** produce
+bit-identical tracks; every exact-gate sweep point must be
+bit-identical with zero quality delta, including the full-motion end
+where the gate buys nothing.  The run exits non-zero otherwise.
+
+Run standalone:
+
+    PYTHONPATH=src python benchmarks/bench_e14_stream.py
+    PYTHONPATH=src python benchmarks/bench_e14_stream.py --smoke
+
+``--smoke`` shrinks cameras/frames/grid (CI-friendly) and skips the
+wall-clock speedup gate (shared CI runners make timing ratios noisy)
+while still asserting bit-identity; both modes persist telemetry to
+``BENCH_e14_stream.json`` for the CI share + SLO gates.
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+from benchmarks.common import (
+    finalize_benchmark,
+    print_table,
+    quantized_configuration,
+    task_matcher,
+)
+from repro.data import get_task
+from repro.obs import get_registry
+from repro.stream import TrackerConfig, run_stream_bench
+
+TASK = "roadside_hazards"
+
+#: Motion densities swept under exact gating (fraction of live objects
+#: re-rendered per frame; the rest repeat bit-identical pixels).
+MOTION_RATES = (0.0, 0.05, 0.25, 1.0)
+SMOKE_MOTION_RATES = (0.05, 1.0)
+
+#: The deployment point the speedup gate stands on: mostly-static
+#: multi-camera feeds, the regime the delta gate exists for.
+GATE_MOTION_RATE = 0.05
+MIN_SPEEDUP = 3.0
+
+#: Carryover demonstration: sub-threshold jitter on a moderately busy
+#: feed, with the periodic refresh bounding drift.
+CARRYOVER_MOTION_RATE = 0.3
+CARRYOVER_THRESHOLD = 0.05
+CARRYOVER_REFRESH = 8
+
+
+def run_experiment(smoke: bool = False):
+    """Sweep motion densities full-vs-gated; returns (tables, gate_row)."""
+    registry = get_registry()
+    registry.reset()  # isolate this run's spans for the share gate
+    model = quantized_configuration().model
+    matcher = task_matcher(TASK)
+    task = get_task(TASK)
+    num_cameras, num_frames, grid = (2, 8, 4) if smoke else (3, 20, 5)
+    motion_rates = SMOKE_MOTION_RATES if smoke else MOTION_RATES
+
+    sweep_rows = []
+    for motion_rate in motion_rates:
+        row = run_stream_bench(
+            model, matcher, task,
+            num_cameras=num_cameras, num_frames=num_frames, grid=grid,
+            motion_rate=motion_rate, seed=3)
+        assert row["identical"], (
+            f"exact delta gating diverged from full recompute at "
+            f"motion_rate={motion_rate}: {row['mismatch']}")
+        assert row["max_quality_delta"] == 0.0, (
+            f"bit-identical tracks must yield identical streaming metrics "
+            f"(motion_rate={motion_rate}, "
+            f"delta={row['max_quality_delta']})")
+        sweep_rows.append({
+            "motion": motion_rate,
+            "cameras": row["cameras"],
+            "frames": row["frames"],
+            "full_fps": row["full_fps"],
+            "gated_fps": row["gated_fps"],
+            "speedup": row["speedup"],
+            "hit_rate": row["hit_rate"],
+            "identical": row["identical"],
+            "quality_delta": row["max_quality_delta"],
+        })
+
+    carryover = run_stream_bench(
+        model, matcher, task,
+        num_cameras=num_cameras, num_frames=num_frames, grid=grid,
+        motion_rate=CARRYOVER_MOTION_RATE,
+        gate=TrackerConfig(delta_gate=True,
+                           motion_threshold=CARRYOVER_THRESHOLD,
+                           refresh_every=CARRYOVER_REFRESH),
+        seed=3)
+    carryover_rows = [{
+        "motion": CARRYOVER_MOTION_RATE,
+        "threshold": CARRYOVER_THRESHOLD,
+        "refresh_every": CARRYOVER_REFRESH,
+        "speedup": carryover["speedup"],
+        "hit_rate": carryover["hit_rate"],
+        "carried": carryover["carried"],
+        "quality_delta": carryover["max_quality_delta"],
+    }]
+
+    tables = {"sweep": sweep_rows, "carryover": carryover_rows}
+    gate_row = next((row for row in sweep_rows
+                     if row["motion"] == GATE_MOTION_RATE), None)
+    return tables, gate_row
+
+
+def _print_results(tables) -> None:
+    print_table("E14: full recompute vs delta gating (exact, bit-identical)",
+                tables["sweep"])
+    print_table("E14: tracker-prior carryover (approximate, bounded drift)",
+                tables["carryover"])
+    print()
+    print(get_registry().report("E14 incremental streaming"))
+
+
+def test_e14_stream(benchmark):
+    tables, gate_row = benchmark.pedantic(
+        run_experiment, kwargs={"smoke": True}, rounds=1, iterations=1)
+    _print_results(tables)
+    # Bit-identity and zero quality delta are asserted inside
+    # run_experiment for every sweep point; check the gate point exists
+    # and the gate genuinely skipped work on the mostly-static feed.
+    assert gate_row is not None and gate_row["identical"]
+    assert gate_row["hit_rate"] > 0.5
+    assert tables["carryover"][0]["quality_delta"] <= 0.1
+
+
+def main():
+    smoke = "--smoke" in sys.argv[1:]
+    tables, gate_row = run_experiment(smoke=smoke)
+    _print_results(tables)
+    finalize_benchmark("e14_stream", **tables)
+    failed = False
+    if gate_row is None:
+        print(f"WARNING: no sweep row at motion_rate={GATE_MOTION_RATE}")
+        failed = True
+    elif not smoke and gate_row["speedup"] < MIN_SPEEDUP:
+        print(f"WARNING: gated streaming at motion_rate={GATE_MOTION_RATE} "
+              f"is {gate_row['speedup']:.2f}x full recompute "
+              f"(gate: >= {MIN_SPEEDUP:.1f}x)")
+        failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -42,6 +42,12 @@ Commands
     exit + replayable JSON case files on any oracle divergence),
     deterministically replay a recorded case, and re-check the committed
     seed corpus.
+``stream {run,bench}``
+    incremental streaming detection: drive a delta-gated streaming
+    detector over a generated multi-frame sequence (per-frame track and
+    gate-hit summary), and benchmark frames/sec for full recompute vs
+    frame-delta gating across motion densities and camera counts —
+    asserting gated tracks bit-identical to the full-recompute oracle.
 ``cascade {route,calibrate,show}``
     the adaptive dual-config cascade: route generated scenes through
     quantized-first detection with margin-triggered specialist
@@ -739,6 +745,122 @@ def _cmd_fuzz_corpus(args: argparse.Namespace) -> int:
     return 0 if failures == 0 else 1
 
 
+def _stream_model_matcher(args: argparse.Namespace):
+    """(model, matcher, task) for the stream commands.
+
+    ``--untrained`` builds a fresh random student (hermetic, no artifact
+    cache) — score *reuse* is what the stream commands exercise, and the
+    delta gate's bit-exactness contract is weight-independent.
+    """
+    from repro.data import get_task
+    from repro.kg import GraphMatcher, SimulatedLLM
+
+    task = get_task(args.task)
+    kg = SimulatedLLM().generate_for_task(task)
+    matcher = GraphMatcher(kg)
+    if args.untrained:
+        import numpy as np
+
+        from repro.data import attribute_head_spec
+        from repro.data.datasets import num_classes
+        from repro.nn import VisionTransformer, ViTConfig
+        from repro.quant.vit import quantize_vit
+
+        config = ViTConfig.student(num_classes(), attribute_head_spec())
+        model = VisionTransformer(config, rng=np.random.default_rng(args.seed))
+        model.eval()
+        rng = np.random.default_rng(args.seed + 1)
+        calibration = rng.uniform(
+            0.0, 1.0, (16, 3, config.image_size, config.image_size),
+        ).astype(np.float32)
+        return quantize_vit(model, calibration), matcher, task
+    from repro.core import ArtifactBuilder
+
+    return ArtifactBuilder(seed=args.seed).quantized().model, matcher, task
+
+
+def _cmd_stream_run(args: argparse.Namespace) -> int:
+    from repro.data import SceneConfig
+    from repro.stream import (
+        SceneSequence,
+        SequenceConfig,
+        StreamingDetector,
+        TrackerConfig,
+    )
+
+    model, matcher, task = _stream_model_matcher(args)
+    scene = SceneConfig(grid=args.grid)
+    sequence = SceneSequence(
+        SequenceConfig(scene=scene, motion_rate=args.motion_rate),
+        seed=args.scene_seed)
+    config = TrackerConfig(delta_gate=not args.no_delta_gate,
+                           motion_threshold=args.motion_threshold,
+                           refresh_every=args.refresh_every)
+    detector = StreamingDetector(model, matcher, config=config)
+    print(f"stream run: task={args.task} grid={args.grid} "
+          f"motion_rate={args.motion_rate:g} "
+          f"delta_gate={config.delta_gate} "
+          f"refresh_every={config.refresh_every}")
+    for state in sequence.frames(args.frames):
+        tracks = detector.update(state.scene)
+        relevant = sum(task.matches(obj.profile)
+                       for obj in state.scene.objects)
+        cells = ", ".join(str(t.cell) for t in
+                          sorted(tracks, key=lambda t: t.track_id))
+        print(f"  frame {state.index:>3}: objects={len(state.scene.objects):<2} "
+              f"relevant={relevant:<2} tracks={len(tracks):<2} "
+              f"births={len(state.births)} deaths={len(state.deaths)}"
+              + (f"  [{cells}]" if cells else ""))
+    stats = detector.gate_stats
+    if config.delta_gate:
+        print(f"delta gate: {stats.skipped} skipped "
+              f"({stats.carried} carried) / "
+              f"{stats.skipped + stats.recomputed} cells "
+              f"-> hit rate {stats.hit_rate:.1%}")
+    return 0
+
+
+def _cmd_stream_bench(args: argparse.Namespace) -> int:
+    from repro.stream import TrackerConfig, run_stream_bench
+
+    model, matcher, task = _stream_model_matcher(args)
+    motion_rates = [float(m) for m in args.motion_rates.split(",")]
+    gate = None
+    if args.motion_threshold > 0.0:
+        gate = TrackerConfig(delta_gate=True,
+                             motion_threshold=args.motion_threshold,
+                             refresh_every=args.refresh_every)
+    rows = []
+    for motion_rate in motion_rates:
+        rows.append(run_stream_bench(
+            model, matcher, task,
+            num_cameras=args.cameras, num_frames=args.frames,
+            grid=args.grid, motion_rate=motion_rate,
+            tracker=TrackerConfig(refresh_every=args.refresh_every),
+            gate=gate, seed=args.scene_seed))
+    print(f"{'motion':>6} | {'full fps':>9} | {'gated fps':>9} | "
+          f"{'speedup':>8} | {'hit rate':>8} | {'identical':>9} | "
+          f"{'quality d':>9}")
+    failed = False
+    for row in rows:
+        identical = ("-" if row["identical"] is None
+                     else ("yes" if row["identical"] else "NO"))
+        if row["exact_gate"] and not row["identical"]:
+            failed = True
+        print(f"{row['motion_rate']:>6.2f} | {row['full_fps']:>9.1f} | "
+              f"{row['gated_fps']:>9.1f} | {row['speedup']:>7.2f}x | "
+              f"{row['hit_rate']:>8.1%} | {identical:>9} | "
+              f"{row['max_quality_delta']:>9.4f}")
+    for row in rows:
+        if row["mismatch"]:
+            print(f"mismatch at motion_rate={row['motion_rate']:g}: "
+                  f"{row['mismatch']}")
+    if failed:
+        print("FAILED: exact delta gating diverged from full recompute")
+        return 1
+    return 0
+
+
 def _measured_cost_ratio() -> float:
     """Escalation cost in fast-path units from the hardware simulator.
 
@@ -1135,6 +1257,56 @@ def build_parser() -> argparse.ArgumentParser:
                                   "tests/fuzz_corpus)")
     fuzz_corpus.add_argument("--max-print", type=int, default=10)
     fuzz_corpus.set_defaults(func=_cmd_fuzz_corpus)
+
+    stream = sub.add_parser(
+        "stream", help="incremental streaming detection (frame-delta "
+                       "gating, tracker-prior carryover)")
+    stream_sub = stream.add_subparsers(dest="stream_command", required=True)
+
+    stream_run = stream_sub.add_parser(
+        "run", help="drive a delta-gated streaming detector over a "
+                    "generated sequence")
+    stream_run.add_argument("--task", default="roadside_hazards")
+    stream_run.add_argument("--seed", type=int, default=0,
+                            help="artifact cache / model seed")
+    stream_run.add_argument("--scene-seed", type=int, default=7)
+    stream_run.add_argument("--frames", type=int, default=12)
+    stream_run.add_argument("--grid", type=int, default=4)
+    stream_run.add_argument("--motion-rate", type=float, default=0.1,
+                            help="fraction of live objects re-rendered "
+                                 "per frame (<1 freezes static cells)")
+    stream_run.add_argument("--no-delta-gate", action="store_true",
+                            help="full recompute every frame")
+    stream_run.add_argument("--motion-threshold", type=float, default=0.0,
+                            help="tracker-prior carryover threshold "
+                                 "(mean abs pixel delta; 0 = exact only)")
+    stream_run.add_argument("--refresh-every", type=int, default=0,
+                            help="force a full re-score every N frames")
+    stream_run.add_argument("--untrained", action="store_true",
+                            help="random student instead of the artifact "
+                                 "cache (hermetic)")
+    stream_run.set_defaults(func=_cmd_stream_run)
+
+    stream_bench = stream_sub.add_parser(
+        "bench", help="frames/sec: full recompute vs delta gating across "
+                      "motion densities; exit 1 if gated tracks are not "
+                      "bit-identical")
+    stream_bench.add_argument("--task", default="roadside_hazards")
+    stream_bench.add_argument("--seed", type=int, default=0)
+    stream_bench.add_argument("--scene-seed", type=int, default=3)
+    stream_bench.add_argument("--cameras", type=int, default=2)
+    stream_bench.add_argument("--frames", type=int, default=16)
+    stream_bench.add_argument("--grid", type=int, default=5)
+    stream_bench.add_argument("--motion-rates", default="0.0,0.05,0.25,1.0",
+                              help="comma-separated motion densities")
+    stream_bench.add_argument("--motion-threshold", type=float, default=0.0,
+                              help="benchmark carryover gating instead of "
+                                   "exact gating")
+    stream_bench.add_argument("--refresh-every", type=int, default=0)
+    stream_bench.add_argument("--untrained", action="store_true",
+                              help="random student instead of the artifact "
+                                   "cache (hermetic)")
+    stream_bench.set_defaults(func=_cmd_stream_bench)
 
     cascade = sub.add_parser(
         "cascade", help="adaptive dual-config cascade (quantized first, "

@@ -152,6 +152,23 @@ def score_predictions(
     return objectness, task_scores, objectness * task_scores
 
 
+def score_windows(model: ModelLike, windows: np.ndarray,
+                  matcher: Optional[GraphMatcher] = None,
+                  batch_size: int = 64) -> np.ndarray:
+    """Combined per-window scores in one call (the streaming reuse hook).
+
+    :func:`predict_windows` + :func:`score_predictions` fused for callers
+    that only need the combined score vector — notably the delta-gated
+    streaming tier, which forwards just the windows whose pixels changed
+    and splices cached scores in for the rest.  Scores are a pure
+    function of ``(window pixels, matcher state)``, which is what makes
+    that cache-and-splice exact.
+    """
+    predictions = predict_windows(model, windows, batch_size=batch_size)
+    _, _, combined = score_predictions(predictions, matcher)
+    return combined
+
+
 def confidence_margin(combined: np.ndarray, score_threshold: float) -> float:
     """Distance of the closest window score to the decision threshold.
 

@@ -277,6 +277,49 @@ class CascadeOperator(ScenarioOperator):
             cascade_pinned=bool(rng.random() < 0.3))
 
 
+class DeltaGateOperator(ScenarioOperator):
+    """Turn on incremental detection (frame-delta gating).
+
+    Sampled alongside a periodic full refresh and, occasionally, the
+    approximate tracker-prior carryover — the regime where the
+    ``incremental_stream`` oracle's exact-vs-gated comparison and its
+    ``refresh_every=1`` degeneracy check both bite.
+    """
+
+    name = "delta_gate"
+
+    def apply(self, spec, rng):
+        return self._stamp(
+            spec, delta_gate=True,
+            refresh_every=int(rng.choice([0, 1, 2, 4, 8])),
+            motion_threshold=float(rng.choice(
+                [0.0, 0.0, 0.0, 0.01, 0.05])))
+
+
+class MotionDensityOperator(ScenarioOperator):
+    """Freeze most of the scene: incremental rendering below 100% motion.
+
+    ``motion_rate=0.0`` is the fully-static extreme (every cell repeats
+    bit-identical pixels after birth); small rates model surveillance
+    feeds where the delta gate should hit on most cells.
+    """
+
+    name = "motion_density"
+
+    def apply(self, spec, rng):
+        return self._stamp(
+            spec, motion_rate=float(rng.choice([0.0, 0.1, 0.25, 0.5])))
+
+
+class MultiCameraOperator(ScenarioOperator):
+    """Replay the scenario over several independent camera feeds."""
+
+    name = "multi_camera"
+
+    def apply(self, spec, rng):
+        return self._stamp(spec, num_cameras=int(rng.integers(2, 5)))
+
+
 #: Always applied, in order: every scenario needs a mission, a budget,
 #: and a grid before the optional stressors compose on top.
 BASE_OPERATORS: List[ScenarioOperator] = [
@@ -290,7 +333,8 @@ OPTIONAL_OPERATORS: List[ScenarioOperator] = [
     KGNoiseOperator(), AblationOperator(), ModelOperator(),
     ThresholdOperator(), TrackerOperator(), StreamDynamicsOperator(),
     GridScheduleOperator(), EarlyDeathOperator(), EngineOperator(),
-    OcclusionOperator(), CascadeOperator(),
+    OcclusionOperator(), CascadeOperator(), DeltaGateOperator(),
+    MotionDensityOperator(), MultiCameraOperator(),
 ]
 
 OPTIONAL_RATE = 0.4

@@ -21,6 +21,9 @@ implementations of the same detection math and asserts agreement:
 * ``stream_metrics`` — ``evaluate_stream`` vs an independent clean-room
   reimplementation of the documented metric semantics, driven by the
   same deterministic detector outputs.
+* ``incremental_stream`` — delta-gated streaming vs full recompute on
+  every camera of the scenario, bit-exact on the quantized model, plus
+  the ``refresh_every=1`` degeneracy check for tracker-prior carryover.
 
 Every disagreement is reported as a :class:`Divergence` — a JSON-able
 record the runner attaches to the replayable case file.
@@ -380,6 +383,53 @@ def oracle_stream_metrics(spec: ScenarioSpec,
     return divergences
 
 
+def _update_snapshots(detector, frames) -> List[List[Track]]:
+    """Per-frame deep-copied active-track snapshots from ``update``."""
+    return [[dataclasses.replace(t) for t in detector.update(scene)]
+            for scene in frames]
+
+
+def oracle_incremental_stream(spec: ScenarioSpec,
+                              ctx: "ExecutionContext") -> List[Divergence]:
+    """Delta-gated streaming == full recompute, on every camera.
+
+    The delta gate's contract is that reusing a cached score for an
+    unchanged cell is *unobservable* in the track state: per camera and
+    per model kind, a gated detector (exact gating, the spec's
+    ``refresh_every``) must produce track snapshots bit-equal (quantized)
+    or ulp-equal (float) to an ungated detector over the same frames —
+    regardless of whether the spec itself enables the gate.  When the
+    spec uses tracker-prior carryover (``motion_threshold > 0``), the
+    approximate path is additionally pinned at its degenerate point:
+    ``refresh_every=1`` forces a full re-score every frame, so carryover
+    must then reproduce full recompute exactly.
+    """
+    divergences: List[Divergence] = []
+    for camera in range(spec.num_cameras):
+        states = ctx.frames if camera == 0 else spec.build_camera_frames(camera)
+        frames = [state.scene for state in states]
+        for kind in ("quantized", "float"):
+            full = _update_snapshots(ctx.make_stream(kind, gated=False),
+                                     frames)
+            gated = _update_snapshots(
+                ctx.make_stream(kind, gated=True, motion_threshold=0.0),
+                frames)
+            divergences += compare_track_snapshots(
+                "incremental_stream", f"camera{camera}:{kind}:gated_vs_full",
+                full, gated, exact_scores=(kind == "quantized"))
+            if kind == "quantized" and spec.motion_threshold > 0.0:
+                degenerate = _update_snapshots(
+                    ctx.make_stream(kind, gated=True,
+                                    motion_threshold=spec.motion_threshold,
+                                    refresh_every=1),
+                    frames)
+                divergences += compare_track_snapshots(
+                    "incremental_stream",
+                    f"camera{camera}:{kind}:carryover_refresh1_vs_full",
+                    full, degenerate, exact_scores=True)
+    return divergences
+
+
 def oracle_pipeline_session(spec: ScenarioSpec,
                             ctx: "ExecutionContext") -> List[Divergence]:
     """The full ``ITaskPipeline.prepare()`` + session-cache path.
@@ -576,6 +626,7 @@ ORACLES = (
     ("stream_fused", oracle_stream_fused),
     ("stream_invariants", oracle_stream_invariants),
     ("stream_metrics", oracle_stream_metrics),
+    ("incremental_stream", oracle_incremental_stream),
     ("pipeline_session", oracle_pipeline_session),
     ("cascade_routing", oracle_cascade_routing),
     ("sharded_engine", oracle_sharded_engine),

@@ -173,13 +173,25 @@ class ExecutionContext:
             score_threshold=self.spec.score_threshold,
             vectorized=vectorized)
 
-    def make_stream(self, kind: str) -> StreamingDetector:
+    def make_stream(self, kind: str, gated: Optional[bool] = None,
+                    motion_threshold: Optional[float] = None,
+                    refresh_every: Optional[int] = None) -> StreamingDetector:
+        """A streaming detector for ``kind``; gating keywords override
+        the spec's own ``delta_gate``/``motion_threshold``/``refresh_every``
+        (the incremental_stream oracle forces both gated and ungated
+        variants regardless of what the spec enables)."""
         spec = self.spec
         config = TrackerConfig(
             smoothing=spec.smoothing,
             on_threshold=spec.on_threshold,
             off_threshold=spec.off_threshold,
-            max_missed_frames=spec.max_missed_frames)
+            max_missed_frames=spec.max_missed_frames,
+            delta_gate=spec.delta_gate if gated is None else gated,
+            motion_threshold=(spec.motion_threshold
+                              if motion_threshold is None
+                              else motion_threshold),
+            refresh_every=(spec.refresh_every if refresh_every is None
+                           else refresh_every))
         return self.stream_cls(self.model_for(kind), self.matcher,
                                config=config)
 

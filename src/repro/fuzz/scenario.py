@@ -81,6 +81,19 @@ class ScenarioSpec:
     off_threshold: float = 0.25
     max_missed_frames: int = 3
 
+    # -- incremental streaming ---------------------------------------------
+    # ``delta_gate`` turns on frame-delta gating in the streaming
+    # detector; ``motion_rate`` < 1 switches the sequence to incremental
+    # rendering (static cells repeat bit-identical pixels);
+    # ``motion_threshold``/``refresh_every`` are the tracker-prior
+    # carryover knobs; ``num_cameras`` > 1 replays the scenario over
+    # independent per-camera sequences.
+    delta_gate: bool = False
+    motion_rate: float = 1.0
+    motion_threshold: float = 0.0
+    refresh_every: int = 0
+    num_cameras: int = 1
+
     # -- engine knobs ------------------------------------------------------
     engine_max_batch: int = 4
     engine_workers: int = 1
@@ -123,6 +136,14 @@ class ScenarioSpec:
             raise ValueError("cascade_margin must be >= 0")
         if self.cascade_fraction < 0.0:
             raise ValueError("cascade_fraction must be >= 0")
+        if not 0.0 <= self.motion_rate <= 1.0:
+            raise ValueError("motion_rate must be in [0, 1]")
+        if self.motion_threshold < 0.0:
+            raise ValueError("motion_threshold must be >= 0")
+        if self.refresh_every < 0:
+            raise ValueError("refresh_every must be >= 0")
+        if self.num_cameras < 1:
+            raise ValueError("num_cameras must be >= 1")
 
     # ------------------------------------------------------------------
     @property
@@ -164,13 +185,27 @@ class ScenarioSpec:
         stale-track aging — with every previous frame's objects reported
         dead (nothing persists across independent frames).
         """
+        return self.build_camera_frames(0)
+
+    def build_camera_frames(self, camera: int = 0) -> List[FrameState]:
+        """One camera's frames; camera 0 is :meth:`build_frames` exactly.
+
+        Cameras are independent feeds of the same scenario: identical
+        dynamics, disjoint seed streams.  Keeping camera 0 on the
+        original seed derivation preserves every committed corpus
+        case's replay bit-for-bit.
+        """
+        if not 0 <= camera < self.num_cameras:
+            raise ValueError(f"camera must be in [0, {self.num_cameras})")
+        offset = 7907 * camera
         grids = self.frame_grids
         if len(set(grids)) == 1:
             sequence = SceneSequence(
                 SequenceConfig(scene=self.scene_config(grids[0]),
                                birth_rate=self.birth_rate,
-                               death_rate=self.death_rate),
-                seed=self.seed * 6151 + 13)
+                               death_rate=self.death_rate,
+                               motion_rate=self.motion_rate),
+                seed=self.seed * 6151 + 13 + offset)
             states = list(sequence.frames(self.num_frames))
         else:
             states = []
@@ -179,7 +214,8 @@ class ScenarioSpec:
             for index, grid in enumerate(grids):
                 scene = SceneGenerator(
                     self.scene_config(grid),
-                    seed=self.seed * 6151 + 17 * index + 13).generate()
+                    seed=self.seed * 6151 + 17 * index + 13 + offset,
+                ).generate()
                 ids = list(range(next_id, next_id + len(scene.objects)))
                 next_id += len(scene.objects)
                 states.append(FrameState(
@@ -189,7 +225,7 @@ class ScenarioSpec:
         if self.early_deaths:
             states = shift_deaths_early(states)
         if self.occlusion_rate > 0.0:
-            rng = np.random.default_rng(self.seed * 104729 + 57)
+            rng = np.random.default_rng(self.seed * 104729 + 57 + offset)
             for state in states:
                 apply_occlusion(state.scene, rng, self.occlusion_rate,
                                 self.occlusion_strength)

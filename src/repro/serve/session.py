@@ -174,6 +174,19 @@ class MissionSession:
 
         return DetectionEngine(self, config=config)
 
+    def stream(self, config=None, batch_size: int = 64):
+        """A streaming detector over this session's model + matcher.
+
+        Returns a fresh :class:`repro.stream.StreamingDetector`; pass a
+        ``TrackerConfig`` with ``delta_gate=True`` for incremental
+        per-frame cost on mostly-static camera feeds.
+        """
+        from repro.stream.tracker import StreamingDetector, TrackerConfig
+
+        return StreamingDetector.from_session(
+            self, config=config if config is not None else TrackerConfig(),
+            batch_size=batch_size)
+
     def request_scope(self, tenant: Optional[str] = None,
                       deadline_ms: Optional[float] = None, **attrs):
         """A traced request scope bound to this mission.

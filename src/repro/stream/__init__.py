@@ -6,19 +6,34 @@ objects persist across frames (with appearance jitter, births and
 deaths), a streaming detector with per-cell score smoothing and
 hysteresis (suppressing single-frame flicker), and streaming metrics —
 per-frame accuracy, detection latency in frames, and flicker rate.
+
+Incremental detection (``TrackerConfig.delta_gate``) adds frame-delta
+gating and tracker-prior carryover so per-frame cost scales with scene
+*change*; :mod:`repro.stream.bench` benchmarks it against the
+full-recompute oracle across multi-camera feeds.
 """
 
 from repro.stream.sequence import FrameState, SceneSequence, SequenceConfig
-from repro.stream.tracker import StreamingDetector, Track, TrackerConfig
-from repro.stream.metrics import StreamingMetrics, evaluate_stream
+from repro.stream.tracker import (
+    GateStats,
+    StreamingDetector,
+    Track,
+    TrackerConfig,
+)
+from repro.stream.metrics import StreamingMetrics, evaluate_stream, metrics_delta
+from repro.stream.bench import compare_snapshots, run_stream_bench
 
 __all__ = [
     "FrameState",
     "SceneSequence",
     "SequenceConfig",
+    "GateStats",
     "StreamingDetector",
     "Track",
     "TrackerConfig",
     "StreamingMetrics",
     "evaluate_stream",
+    "metrics_delta",
+    "compare_snapshots",
+    "run_stream_bench",
 ]

@@ -13,6 +13,7 @@ Three quantities matter for a real-time task detector:
 from __future__ import annotations
 
 import dataclasses
+import math
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
@@ -97,3 +98,25 @@ def evaluate_stream(
         flicker_rate=flips / max(total, 1),
         frames=num_frames,
     )
+
+
+def metrics_delta(reference: StreamingMetrics,
+                  candidate: StreamingMetrics) -> Dict[str, float]:
+    """Per-metric absolute deltas, NaN-aware.
+
+    ``mean_detection_latency`` is NaN when no relevant object was ever
+    detected; two NaNs are the same outcome (delta 0), not a regression.
+    This is the quality-comparison the E14 benchmark gates on: exact
+    delta gating must report all-zero deltas against full recompute.
+    """
+    deltas: Dict[str, float] = {}
+    ref_dict = reference.as_dict()
+    cand_dict = candidate.as_dict()
+    for key, ref_value in ref_dict.items():
+        cand_value = cand_dict[key]
+        both_nan = (isinstance(ref_value, float) and math.isnan(ref_value)
+                    and isinstance(cand_value, float)
+                    and math.isnan(cand_value))
+        deltas[key] = (0.0 if both_nan
+                       else abs(float(cand_value) - float(ref_value)))
+    return deltas

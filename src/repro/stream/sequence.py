@@ -27,15 +27,26 @@ from repro.data.scenes import ObjectInstance, Scene, SceneConfig
 
 @dataclasses.dataclass(frozen=True)
 class SequenceConfig:
-    """Temporal dynamics on top of a spatial :class:`SceneConfig`."""
+    """Temporal dynamics on top of a spatial :class:`SceneConfig`.
+
+    ``motion_rate`` is the fraction of live objects re-rendered (with
+    fresh appearance jitter) each frame.  At the default ``1.0`` every
+    frame re-renders everything — full sensor jitter, the historical
+    behavior.  Below ``1.0`` the sequence switches to incremental
+    rendering: the background is frozen and unchanged cells repeat
+    *bit-identical* pixels across frames — the surveillance-style
+    workload the streaming delta gate exploits.
+    """
 
     scene: SceneConfig = SceneConfig()
     birth_rate: float = 0.06      # per free cell, per frame
     death_rate: float = 0.04      # per live object, per frame
     distractor_fraction: float = 0.25  # of births
+    motion_rate: float = 1.0      # per live object, per frame
 
     def __post_init__(self) -> None:
-        for name in ("birth_rate", "death_rate", "distractor_fraction"):
+        for name in ("birth_rate", "death_rate", "distractor_fraction",
+                     "motion_rate"):
             value = getattr(self, name)
             if not 0.0 <= value <= 1.0:
                 raise ValueError(f"{name} must be in [0, 1], got {value}")
@@ -70,6 +81,9 @@ class SceneSequence:
         self._live: Dict[Tuple[int, int], _LiveObject] = {}
         self._next_id = 0
         self._frame = 0
+        # incremental-rendering state (motion_rate < 1.0 only)
+        self._background: Optional[np.ndarray] = None
+        self._windows: Dict[Tuple[int, int], np.ndarray] = {}
         self._populate_initial()
 
     # ------------------------------------------------------------------
@@ -107,6 +121,10 @@ class SceneSequence:
         for cell in list(self._live):
             if rng.random() < cfg.death_rate:
                 deaths.append(self._live.pop(cell).object_id)
+                # the vacated cell falls back to the frozen background;
+                # a later birth must render fresh pixels, not the old
+                # occupant's cached ones
+                self._windows.pop(cell, None)
         births: List[int] = []
         for cell in self._all_cells():
             if cell not in self._live and rng.random() < cfg.birth_rate:
@@ -126,6 +144,46 @@ class SceneSequence:
         return state
 
     def _render(self) -> Scene:
+        if self.config.motion_rate >= 1.0:
+            return self._render_full()
+        return self._render_incremental()
+
+    def _render_incremental(self) -> Scene:
+        """Re-render only moving objects; static cells repeat exact pixels.
+
+        The background is rendered once and frozen.  Each live object's
+        composited window is cached; it is re-rendered (fresh jitter)
+        only when newly born or when the per-frame motion roll fires
+        with probability ``motion_rate``.  Everything else — empty
+        cells, static objects — is bit-identical frame over frame, so a
+        pixel-fingerprint delta gate genuinely hits.
+        """
+        scfg = self.config.scene
+        cell = scfg.cell_size
+        if self._background is None:
+            self._background = render_background(
+                self._rng, size=scfg.image_size, noise_std=scfg.noise_std)
+        image = self._background.copy()
+        objects: List[ObjectInstance] = []
+        for (row, col), live in sorted(self._live.items()):
+            x0, y0 = col * cell, row * cell
+            window = self._windows.get((row, col))
+            if window is None or self._rng.random() < self.config.motion_rate:
+                background = self._background[:, y0:y0 + cell, x0:x0 + cell]
+                window = render_object(
+                    live.profile, rng=self._rng, size=cell,
+                    background=background, noise_std=scfg.noise_std)
+                self._windows[(row, col)] = window
+            image[:, y0:y0 + cell, x0:x0 + cell] = window
+            objects.append(ObjectInstance(
+                profile=live.profile,
+                bbox=(x0, y0, x0 + cell, y0 + cell),
+                category=category_of_profile(live.profile),
+                cell=(row, col)))
+        return Scene(image=image, objects=objects, grid=scfg.grid,
+                     cell_size=scfg.cell_size)
+
+    def _render_full(self) -> Scene:
         scfg = self.config.scene
         size = scfg.image_size
         image = render_background(self._rng, size=size, noise_std=scfg.noise_std)

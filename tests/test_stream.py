@@ -1,4 +1,6 @@
-"""Streaming subsystem: sequences, tracker hysteresis, metrics."""
+"""Streaming subsystem: sequences, tracker hysteresis, metrics, gating."""
+
+import dataclasses
 
 import numpy as np
 import pytest
@@ -304,3 +306,308 @@ class TestStreamFixRegressions:
                                   num_frames=1)
         assert metrics.detected_fraction == 1.0
         assert metrics.mean_detection_latency == 0.0
+
+
+# ----------------------------------------------------------------------
+# frame-delta gating (incremental detection)
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def fuzz_model_pair():
+    """Tiny deterministic float/quantized pair (16x16 cell windows)."""
+    from repro.fuzz.runner import build_model_pair
+    from repro.fuzz.scenario import ModelSpec
+
+    return build_model_pair(ModelSpec())
+
+
+def _gate_scenes(seed, num_frames=6, grid=3, motion_rate=0.25,
+                 birth_rate=0.06, death_rate=0.04):
+    """Frames at the fuzz models' 16px cell size, incremental rendering."""
+    config = SequenceConfig(
+        scene=SceneConfig(grid=grid, cell_size=16),
+        birth_rate=birth_rate, death_rate=death_rate,
+        motion_rate=motion_rate)
+    return [state.scene
+            for state in SceneSequence(config, seed=seed).frames(num_frames)]
+
+
+def _run(model, scenes, config, matcher=None):
+    detector = StreamingDetector(model, matcher=matcher, config=config)
+    snapshots = [[dataclasses.replace(t) for t in detector.update(scene)]
+                 for scene in scenes]
+    return snapshots, detector
+
+
+def _track_tuples(snapshots):
+    return [[(t.track_id, t.cell, t.first_frame, t.last_frame, t.active,
+              t.missed) for t in frame] for frame in snapshots]
+
+
+def _scores(snapshots):
+    return [[t.score for t in frame] for frame in snapshots]
+
+
+class TestDeltaGating:
+    """Property: gated == full recompute (the correctness contract)."""
+
+    BASE = dict(on_threshold=0.2, off_threshold=0.1)
+
+    @pytest.mark.parametrize("tracker_kwargs,sequence_kwargs", [
+        # default smoothing/hysteresis, mostly-static feed
+        (dict(), dict(motion_rate=0.05)),
+        # no smoothing, busy feed
+        (dict(smoothing=0.0), dict(motion_rate=0.5)),
+        # heavy smoothing + tight hysteresis + periodic refresh
+        (dict(smoothing=0.8, on_threshold=0.3, off_threshold=0.28,
+              refresh_every=2), dict(motion_rate=0.25)),
+        # birth/death churn with aggressive aging
+        (dict(max_missed_frames=0, refresh_every=4),
+         dict(motion_rate=0.1, birth_rate=0.5, death_rate=0.5)),
+        # fully static after births: every cell should gate
+        (dict(), dict(motion_rate=0.0, birth_rate=0.0, death_rate=0.0)),
+    ])
+    def test_gated_bit_equal_to_full_quantized(self, fuzz_model_pair,
+                                               tracker_kwargs,
+                                               sequence_kwargs):
+        _, quantized = fuzz_model_pair
+        kwargs = {**self.BASE, **tracker_kwargs}
+        scenes = _gate_scenes(seed=21, **sequence_kwargs)
+        full, _ = _run(quantized, scenes,
+                       TrackerConfig(delta_gate=False, **kwargs))
+        gated, detector = _run(quantized, scenes,
+                               TrackerConfig(delta_gate=True, **kwargs))
+        assert _track_tuples(gated) == _track_tuples(full)
+        assert _scores(gated) == _scores(full)  # bit-exact, not approx
+        stats = detector.gate_stats
+        assert stats.frames == len(scenes)
+        assert stats.skipped + stats.recomputed > 0
+
+    def test_gated_close_to_full_float(self, fuzz_model_pair):
+        """Float path: batch-shape-dependent GEMM tiling allows tiny
+        drift, so tracks must match exactly and scores to 1e-5."""
+        float_model, _ = fuzz_model_pair
+        config = dict(self.BASE)
+        scenes = _gate_scenes(seed=22, motion_rate=0.2)
+        full, _ = _run(float_model, scenes,
+                       TrackerConfig(delta_gate=False, **config))
+        gated, _ = _run(float_model, scenes,
+                        TrackerConfig(delta_gate=True, **config))
+        assert _track_tuples(gated) == _track_tuples(full)
+        for gated_frame, full_frame in zip(_scores(gated), _scores(full)):
+            assert gated_frame == pytest.approx(full_frame, abs=1e-5)
+
+    def test_gated_with_zero_cell_frames(self, fuzz_model_pair):
+        """A zero-cell frame mid-stream must not corrupt the cache."""
+        from repro.data import SceneGenerator
+
+        _, quantized = fuzz_model_pair
+        busy = _gate_scenes(seed=23, num_frames=2, motion_rate=0.0,
+                            birth_rate=0.0, death_rate=0.0)
+        empty = SceneGenerator(SceneConfig(grid=0, cell_size=16),
+                               seed=5).generate()
+        scenes = [busy[0], empty, busy[1]]
+        kwargs = dict(self.BASE, max_missed_frames=3)
+        full, _ = _run(quantized, scenes,
+                       TrackerConfig(delta_gate=False, **kwargs))
+        gated, _ = _run(quantized, scenes,
+                        TrackerConfig(delta_gate=True, **kwargs))
+        assert _track_tuples(gated) == _track_tuples(full)
+        assert _scores(gated) == _scores(full)
+
+    def test_gated_with_early_death_churn(self, fuzz_model_pair):
+        """Tracks dying while their cell's cache entry is live must not
+        resurrect with stale scores."""
+        _, quantized = fuzz_model_pair
+        scenes = _gate_scenes(seed=24, num_frames=8, motion_rate=0.1,
+                              birth_rate=1.0, death_rate=1.0)
+        kwargs = dict(self.BASE, max_missed_frames=0)
+        full, _ = _run(quantized, scenes,
+                       TrackerConfig(delta_gate=False, **kwargs))
+        gated, _ = _run(quantized, scenes,
+                        TrackerConfig(delta_gate=True, **kwargs))
+        assert _track_tuples(gated) == _track_tuples(full)
+        assert _scores(gated) == _scores(full)
+
+    def test_update_many_falls_back_to_sequential_gating(
+            self, fuzz_model_pair):
+        _, quantized = fuzz_model_pair
+        scenes = _gate_scenes(seed=25, num_frames=4, motion_rate=0.1)
+        config = TrackerConfig(delta_gate=True, **self.BASE)
+        fused = StreamingDetector(quantized, matcher=None,
+                                  config=config).update_many(scenes)
+        sequential, _ = _run(quantized, scenes, config)
+        assert _track_tuples(fused) == _track_tuples(sequential)
+        assert _scores(fused) == _scores(sequential)
+
+    def test_static_sequence_gate_hit_rate(self, fuzz_model_pair):
+        """Frozen feed: after frame 0 every cell reuses its cache."""
+        _, quantized = fuzz_model_pair
+        scenes = _gate_scenes(seed=26, num_frames=5, motion_rate=0.0,
+                              birth_rate=0.0, death_rate=0.0)
+        cells = scenes[0].grid ** 2
+        _, detector = _run(quantized, scenes,
+                           TrackerConfig(delta_gate=True, **self.BASE))
+        stats = detector.gate_stats
+        assert stats.recomputed == cells          # frame 0 only
+        assert stats.skipped == cells * (len(scenes) - 1)
+        assert stats.carried == 0                 # exact gate, no carryover
+        assert stats.hit_rate == pytest.approx(4 / 5)
+
+    def test_gate_counters_and_distribution_recorded(self, fuzz_model_pair):
+        from repro.obs import get_registry
+
+        _, quantized = fuzz_model_pair
+        registry = get_registry()
+        registry.reset()
+        scenes = _gate_scenes(seed=27, num_frames=3, motion_rate=0.0,
+                              birth_rate=0.0, death_rate=0.0)
+        _run(quantized, scenes, TrackerConfig(delta_gate=True, **self.BASE))
+        counters = registry.counters
+        cells = scenes[0].grid ** 2
+        assert counters["stream.cells.recomputed"].value == cells
+        assert counters["stream.cells.skipped"].value == cells * 2
+        hit_rate = registry.distributions["stream.delta_gate.hit_rate"]
+        assert hit_rate.count == len(scenes)
+        assert hit_rate.max == 1.0
+        # the snapshot protocol (cross-shard merge) must carry the gate
+        # metrics, not just the in-process view
+        state = hit_rate.merge_state()
+        assert state["count"] == len(scenes)
+        assert counters["stream.cells.skipped"].merge_state()["value_fp"] > 0
+        registry.reset()
+
+    def test_reset_clears_gate_state(self, fuzz_model_pair):
+        _, quantized = fuzz_model_pair
+        scenes = _gate_scenes(seed=28, num_frames=2, motion_rate=0.0)
+        _, detector = _run(quantized, scenes,
+                           TrackerConfig(delta_gate=True, **self.BASE))
+        assert detector._score_cache and detector.gate_stats.frames == 2
+        detector.reset()
+        assert detector._score_cache == {}
+        assert detector.gate_stats.frames == 0
+        # post-reset the detector recomputes from scratch, bit-equal
+        replay = [[dataclasses.replace(t) for t in detector.update(scene)]
+                  for scene in scenes]
+        fresh, _ = _run(quantized, scenes,
+                        TrackerConfig(delta_gate=True, **self.BASE))
+        assert _track_tuples(replay) == _track_tuples(fresh)
+        assert _scores(replay) == _scores(fresh)
+
+    def test_kg_edit_invalidates_cached_scores(self, fuzz_model_pair):
+        """Cache entries are keyed on the KG version: a constraint edit
+        must force a full re-score even on unchanged pixels."""
+        from repro.kg import GraphMatcher, SimulatedLLM
+
+        _, quantized = fuzz_model_pair
+        matcher = GraphMatcher(
+            SimulatedLLM().generate_for_task(get_task("roadside_hazards")))
+        scenes = _gate_scenes(seed=29, num_frames=2, motion_rate=0.0,
+                              birth_rate=0.0, death_rate=0.0)
+        cells = scenes[0].grid ** 2
+        detector = StreamingDetector(
+            quantized, matcher=matcher,
+            config=TrackerConfig(delta_gate=True, **self.BASE))
+        detector.update(scenes[0])
+        detector.update(scenes[1])
+        assert detector.gate_stats.skipped == cells
+        constraint = matcher.kg.constraints[0]
+        matcher.kg.replace_constraint(
+            dataclasses.replace(constraint,
+                                weight=constraint.weight * 0.5))
+        detector.update(scenes[1])  # identical pixels, edited graph
+        assert detector.gate_stats.recomputed == cells * 2
+        assert detector.gate_stats.skipped == cells
+
+
+class TestCarryover:
+    """Tracker-prior carryover: approximate reuse under tiny jitter."""
+
+    BASE = dict(on_threshold=0.2, off_threshold=0.1, smoothing=0.0)
+
+    @staticmethod
+    def _jittered_frames(base_scene, count, amplitude, seed=0):
+        """Copies of one scene with per-frame sub-threshold pixel noise."""
+        rng = np.random.default_rng(seed)
+        frames = []
+        for _ in range(count):
+            noise = rng.uniform(-amplitude, amplitude,
+                                base_scene.image.shape).astype(np.float32)
+            frames.append(dataclasses.replace(
+                base_scene, image=base_scene.image + noise))
+        return frames
+
+    def test_subthreshold_jitter_is_carried(self, fuzz_model_pair):
+        _, quantized = fuzz_model_pair
+        [scene] = _gate_scenes(seed=30, num_frames=1, motion_rate=0.0,
+                               birth_rate=1.0, death_rate=0.0)
+        frames = [scene] + self._jittered_frames(scene, 3, amplitude=0.005)
+        config = TrackerConfig(delta_gate=True, motion_threshold=0.05,
+                               **self.BASE)
+        detector = StreamingDetector(quantized, matcher=None, config=config)
+        for frame in frames:
+            tracks = detector.update(frame)
+        # jittered cells holding active tracks reuse the cached score
+        assert detector.gate_stats.carried > 0
+        assert tracks, "carryover should keep the confirmed tracks alive"
+
+    def test_zero_threshold_never_carries(self, fuzz_model_pair):
+        _, quantized = fuzz_model_pair
+        [scene] = _gate_scenes(seed=30, num_frames=1, motion_rate=0.0,
+                               birth_rate=1.0, death_rate=0.0)
+        frames = [scene] + self._jittered_frames(scene, 3, amplitude=0.005)
+        config = TrackerConfig(delta_gate=True, motion_threshold=0.0,
+                               **self.BASE)
+        detector = StreamingDetector(quantized, matcher=None, config=config)
+        for frame in frames:
+            detector.update(frame)
+        assert detector.gate_stats.carried == 0
+        assert detector.gate_stats.skipped == 0  # every frame changed pixels
+
+    def test_refresh_every_one_degenerates_to_full(self, fuzz_model_pair):
+        """refresh_every=1 re-scores every frame: carryover can never
+        trigger and the output is bit-equal to full recompute."""
+        _, quantized = fuzz_model_pair
+        scenes = _gate_scenes(seed=31, num_frames=5, motion_rate=0.5)
+        kwargs = dict(self.BASE, motion_threshold=0.05)
+        full, _ = _run(quantized, scenes,
+                       TrackerConfig(delta_gate=False, **kwargs))
+        gated, detector = _run(
+            quantized, scenes,
+            TrackerConfig(delta_gate=True, refresh_every=1, **kwargs))
+        assert _track_tuples(gated) == _track_tuples(full)
+        assert _scores(gated) == _scores(full)
+        assert detector.gate_stats.skipped == 0
+        assert detector.gate_stats.carried == 0
+
+
+class TestStreamBenchHelpers:
+    def test_compare_snapshots_equal_and_mismatch(self):
+        from repro.stream import compare_snapshots
+
+        track = Track(track_id=0, cell=(0, 0), first_frame=0, last_frame=1,
+                      score=0.5)
+        # nesting: cameras -> frames -> tracks
+        reference = [[[track]]]
+        same = [[[dataclasses.replace(track)]]]
+        assert compare_snapshots(reference, same) is None
+        drifted = [[[dataclasses.replace(track, score=0.5 + 1e-3)]]]
+        assert "score" in compare_snapshots(reference, drifted)
+        assert compare_snapshots(reference, drifted,
+                                 exact_scores=False, atol=1e-2) is None
+        rebirth = [[[dataclasses.replace(track, track_id=1)]]]
+        assert "track_id" in compare_snapshots(reference, rebirth)
+
+    def test_run_stream_bench_row_contract(self, fuzz_model_pair):
+        from repro.stream import run_stream_bench
+
+        _, quantized = fuzz_model_pair
+        task = get_task("roadside_hazards")
+        row = run_stream_bench(
+            quantized, None, task, num_cameras=1, num_frames=4, grid=2,
+            cell_size=16, motion_rate=0.0, birth_rate=0.0, death_rate=0.0,
+            seed=6)
+        assert row["identical"] is True
+        assert row["mismatch"] is None
+        assert row["max_quality_delta"] == 0.0
+        assert row["hit_rate"] > 0.5
+        assert row["full_fps"] > 0 and row["gated_fps"] > 0
